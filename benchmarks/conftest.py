@@ -1,0 +1,31 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+same rows/series the paper reports, and asserts the qualitative shape
+(who wins, by roughly what factor, where crossovers fall). Absolute
+numbers are not expected to match the authors' A100 testbed — the
+substrate here is a calibrated simulator (see EXPERIMENTS.md).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic end-to-end computations, so repeated
+    rounds only burn time; one round gives the wall-clock cost of
+    regenerating the artifact.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

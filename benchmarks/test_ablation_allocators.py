@@ -1,0 +1,17 @@
+"""Bench: allocator ablation (Section 4.1's fragmentation claim)."""
+
+from repro.experiments import ablation_allocators
+
+
+def test_ablation_allocators(run_once):
+    result = run_once(ablation_allocators.run)
+    print("\n" + ablation_allocators.format_report(result))
+
+    page = result.overhead("page-4MiB")
+    # Page-based management: waste bounded by page-tail slack.
+    assert page < 1.15
+    # The coarse managers the paper criticizes carry more overhead.
+    assert result.overhead("caching") >= page
+    assert result.overhead("chunk") >= page
+    # BFC (the strongest tensor-level baseline) still trails pages or ties.
+    assert result.overhead("bfc") >= 1.0

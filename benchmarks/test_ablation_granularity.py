@@ -1,0 +1,19 @@
+"""Bench: page vs chunk granularity (PatrickStar comparison, Section 4.1)."""
+
+from repro.experiments import ablation_granularity
+
+
+def test_ablation_granularity(run_once):
+    result = run_once(ablation_granularity.run)
+    print("\n" + ablation_granularity.format_report(result))
+
+    page = result.points[0]
+    chunk = result.points[1]
+    assert page.label == "page-4MiB"
+    assert chunk.unit_bytes > 16 * page.unit_bytes
+
+    # Pages are never worse, and win under memory pressure.
+    assert page.samples_per_second is not None
+    if chunk.samples_per_second is not None:
+        assert page.samples_per_second >= chunk.samples_per_second
+    assert page.max_feasible_batch >= chunk.max_feasible_batch

@@ -1,0 +1,23 @@
+"""Bench: page-size ablation (Section 4.1's 'Optimal Page Size')."""
+
+from repro.experiments import ablation_page_size
+from repro.units import MiB
+
+
+def test_ablation_page_size(run_once):
+    result = run_once(ablation_page_size.run)
+    print("\n" + ablation_page_size.format_report(result))
+
+    # The cost curve is U-shaped: small pages waste PCIe on per-page
+    # setup, large pages waste capacity on tail slack.
+    four = result.of(4 * MiB)
+    assert result.of(256 * 1024).bandwidth_efficiency < 0.6
+    assert result.of(64 * MiB).capacity_overhead > 1.5
+
+    # The paper's 4 MiB sits at (or next to) the sweep's optimum.
+    ordered = sorted(result.points, key=lambda p: p.cost)
+    assert four in ordered[:2]
+    # ... and it is the *minimum* size achieving >90% PCIe efficiency,
+    # which is the paper's exact selection criterion.
+    efficient = [p for p in result.points if p.bandwidth_efficiency >= 0.9]
+    assert min(p.page_bytes for p in efficient) == 4 * MiB

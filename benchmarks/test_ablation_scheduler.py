@@ -1,0 +1,16 @@
+"""Bench: scheduler ablation — Algorithm 1 phase 2 and the GPU cache."""
+
+from repro.experiments import ablation_scheduler
+
+
+def test_ablation_scheduler(run_once):
+    result = run_once(
+        ablation_scheduler.run, model_name="gpt3-13b", micro_batch=2
+    )
+    print("\n" + ablation_scheduler.format_report(result))
+
+    # The optimizations never hurt and phase-2 advancement pays.
+    assert result.full >= result.no_phase2
+    assert result.full >= result.no_cache
+    assert result.full >= result.neither
+    assert result.phase2_gain() > 0.0

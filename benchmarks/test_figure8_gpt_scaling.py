@@ -1,0 +1,19 @@
+"""Bench: Figure 8 — GPT3-175B scalability on hundreds of GPUs."""
+
+from repro.experiments import figure8
+
+
+def test_figure8_gpt_scaling(run_once):
+    result = run_once(figure8.run)
+    print("\n" + figure8.format_report(result))
+
+    # Paper: 11.68 samples/s at 256 GPUs -> 36.46 at 768 GPUs = 3.12x for
+    # 3x the GPUs (super-linear).
+    speedup = result.speedup(256, 768)
+    assert speedup >= 3.0
+    assert speedup <= 3.5
+    assert result.scaling_exponent >= 1.0
+
+    # Throughput grows monotonically with the cluster.
+    series = [p.samples_per_second for p in result.points]
+    assert series == sorted(series)

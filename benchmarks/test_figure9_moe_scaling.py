@@ -1,0 +1,22 @@
+"""Bench: Figure 9 — T5-MoE scalability (9 experts/GPU/layer)."""
+
+from repro.experiments import figure8, figure9
+
+
+def test_figure9_moe_scaling(run_once):
+    result = run_once(figure9.run)
+    print("\n" + figure9.format_report(result))
+
+    # Near-linear scaling: exponent just under 1.
+    assert 0.9 <= result.scaling_exponent <= 1.02
+
+    # The model grows with the cluster: 2304 experts (the 1.2T point) at
+    # 256 GPUs.
+    last = result.points[-1]
+    assert last.num_gpus == 256
+    assert last.num_experts == 2304
+    assert last.total_params_t > 1.0
+
+    # Below GPT3-175B's super-linear exponent (paper: all-to-all drag).
+    gpt = figure8.run(server_counts=(32, 96))
+    assert result.scaling_exponent < gpt.scaling_exponent

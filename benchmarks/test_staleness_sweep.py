@@ -1,0 +1,16 @@
+"""Bench: staleness sweep (extension of Table 6's convergence claim)."""
+
+from repro.experiments import staleness_sweep
+
+
+def test_staleness_sweep(run_once):
+    result = run_once(staleness_sweep.run)
+    print("\n" + staleness_sweep.format_report(result))
+
+    # The paper's operating regime (small staleness) is nearly free...
+    assert result.of(2).relative_to_sync < 0.05
+    assert result.of(4).relative_to_sync < 0.12
+    # ...and pushing staleness far past it visibly degrades quality,
+    # delimiting where the lock-free trade stops being free.
+    assert result.of(16).relative_to_sync > result.of(4).relative_to_sync
+    assert result.of(16).relative_to_sync > 0.15

@@ -1,0 +1,19 @@
+"""Bench: Table 1 — per-layer memory footprints under mixed precision."""
+
+import pytest
+
+from repro.experiments import table1
+
+
+def test_table1_footprints(run_once):
+    result = run_once(table1.run)
+    print("\n" + table1.format_report(result))
+    # Inventory must agree with the paper's closed forms up to the small
+    # terms the paper ignores (< 0.01% at this width).
+    assert result.params_bytes == pytest.approx(result.closed_params, rel=1e-4)
+    assert result.acts_bytes == pytest.approx(result.closed_acts, rel=1e-4)
+    assert result.optims_bytes == pytest.approx(result.closed_optims, rel=1e-4)
+    # Section 2.2 totals: 648 / 162 / 1944 GiB.
+    assert result.model_params_gib == pytest.approx(648, rel=0.005)
+    assert result.model_acts_gib == pytest.approx(162, rel=0.005)
+    assert result.model_optims_gib == pytest.approx(1944, rel=0.005)

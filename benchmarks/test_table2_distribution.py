@@ -1,0 +1,16 @@
+"""Bench: Table 2 — tensor-size distribution within one GPT-3 layer."""
+
+from repro.experiments import table2
+
+
+def test_table2_distribution(run_once):
+    dist = run_once(table2.run)
+    print("\n" + table2.format_report(dist))
+    large = table2.large_entries(dist)
+    paper_large = {
+        s: c for s, c in table2.PAPER_DISTRIBUTION.items() if s >= 1.0
+    }
+    assert large == paper_large
+    # The distribution spans two orders of magnitude, the paper's premise
+    # for why uniform chunks fragment.
+    assert max(large) / min(large) > 10

@@ -1,0 +1,11 @@
+"""Thin setup shim.
+
+The execution environment has no network and no ``wheel`` package, so the
+PEP 517 editable path (which builds a wheel) is unavailable; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` use the legacy
+``setup.py develop`` route. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Reproduction of Angel-PTM (VLDB 2023).
+
+A page-based hierarchical-memory training system: fine-grained Page memory
+management, a unified life-time-based scheduler (Algorithm 1), a lock-free
+SSD update mechanism (Algorithm 2), ZeRO-style data parallelism, and the
+discrete-event and functional substrates needed to reproduce the paper's
+evaluation without GPU hardware.
+
+Quickstart (the paper's Figure 6 interface)::
+
+    from repro import nn
+    from repro.engine import initialize, AngelConfig
+
+    model = nn.TinyTransformerLM(vocab_size=64, d_model=32, d_ffn=64,
+                                 num_heads=4, num_layers=2)
+    optimizer = nn.MixedPrecisionAdam(model.parameters(), lr=3e-3)
+    engine = initialize(model, optimizer, AngelConfig())
+    for batch in nn.lm_synthetic_batches(64, 16, 8, 100):
+        loss = engine(batch)
+        engine.backward(loss)
+        engine.step()
+"""
+
+from repro import errors, units
+from repro.engine.angel import AngelConfig, AngelModel, initialize
+
+__version__ = "1.0.0"
+
+__all__ = ["AngelConfig", "AngelModel", "initialize", "errors", "units", "__version__"]

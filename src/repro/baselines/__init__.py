@@ -1,0 +1,21 @@
+"""Baseline system models: DeepSpeed-like and Megatron-LM-like engines.
+
+The paper's evaluation compares Angel-PTM against DeepSpeed (ZeRO-3 with
+static CPU offload) and Megatron-LM (hand-tuned hybrid tensor/pipeline/data
+parallelism). These engines implement those systems' *behaviours* — static
+partitioning, end-of-step CPU optimizer, limited prefetch for DeepSpeed;
+pure-GPU hybrid parallelism with pipeline bubbles for Megatron — on the
+same simulator and cost model as Angel-PTM, so comparisons isolate the
+scheduling and memory-management differences the paper claims.
+"""
+
+from repro.baselines.deepspeed_like import DeepSpeedEngine
+from repro.baselines.megatron_like import MegatronEngine, ParallelismChoice
+from repro.baselines.patrickstar_like import PatrickStarEngine
+
+__all__ = [
+    "DeepSpeedEngine",
+    "MegatronEngine",
+    "ParallelismChoice",
+    "PatrickStarEngine",
+]

@@ -1,0 +1,187 @@
+"""Megatron-LM-like engine: hand-tuned hybrid TP/PP/DP, GPU-only memory.
+
+Models the behaviours the paper attributes to Megatron-LM:
+
+- Hybrid parallelism searched per model ("we manually search the best
+  parallelism strategy for each experimented model", Section 6.1); the
+  engine enumerates every (tp, pp, dp) factorization and keeps the fastest
+  feasible one.
+- No offloading: all model states and activations live in GPU memory, so
+  large models OOM (Figure 7's missing bars).
+- Tensor parallelism adds two all-reduces of the activation tensor per
+  layer per pass; pipeline parallelism adds the GPipe bubble factor
+  ``(p - 1) / m`` for ``m`` micro-batches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import OutOfMemoryError
+from repro.hardware.cluster import ClusterSpec
+from repro.models.transformer import FP16
+from repro.models.zoo import ModelConfig
+from repro.tracer.costmodel import CostModel
+from repro.tracer.tracer import Tracer
+from repro.zero.collectives import CollectiveModel
+
+
+@dataclass(frozen=True)
+class ParallelismChoice:
+    """One hybrid-parallelism configuration and its predicted speed."""
+
+    tensor_parallel: int
+    pipeline_parallel: int
+    data_parallel: int
+    micro_batch: int
+    num_micro_batches: int
+    iteration_time: float
+    samples_per_second: float
+    gpu_bytes_needed: int
+
+    @property
+    def degree(self) -> int:
+        return self.tensor_parallel * self.pipeline_parallel * self.data_parallel
+
+
+class MegatronEngine:
+    """Analytic hybrid-parallelism model on the shared cost model."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        gpu_reserve_fraction: float = 0.10,
+        use_recompute: bool = True,
+        cost_model: CostModel | None = None,
+    ):
+        self.cluster = cluster
+        self.gpu_reserve_fraction = gpu_reserve_fraction
+        self.use_recompute = use_recompute
+        server = cluster.server
+        self.cost = cost_model or CostModel(gpu=server.gpus[0], cpu=server.cpu)
+        self.collectives = CollectiveModel(cluster)
+
+    @property
+    def gpu_budget(self) -> int:
+        per_gpu = self.cluster.server.gpus[0].memory_bytes
+        return int(per_gpu * (1 - self.gpu_reserve_fraction))
+
+    def _factorizations(self):
+        """All (tp, pp, dp) with tp within one server and tp*pp*dp = GPUs."""
+        total = self.cluster.num_gpus
+        max_tp = self.cluster.server.num_gpus
+        for tp in (1, 2, 4, 8):
+            if tp > max_tp or total % tp:
+                continue
+            rest = total // tp
+            for pp in range(1, rest + 1):
+                if rest % pp:
+                    continue
+                yield tp, pp, rest // pp
+
+    def _evaluate(
+        self,
+        config: ModelConfig,
+        tp: int,
+        pp: int,
+        dp: int,
+        micro_batch: int,
+        num_micro_batches: int,
+        seq_len: int,
+    ) -> ParallelismChoice | None:
+        model = config.build(batch_size=micro_batch, seq_len=seq_len)
+        trace = Tracer(self.cost, use_recompute=self.use_recompute).trace(model)
+        num_layers = trace.num_layers
+        if pp > num_layers:
+            return None
+        layers_per_stage = math.ceil(num_layers / pp)
+        stage_layers = trace.layers[:layers_per_stage]
+
+        # Memory per GPU: this stage's model states / tp, plus activations
+        # of the in-flight micro-batches (pp stages keep up to pp of them).
+        state_bytes = sum(
+            2 * l.param_bytes_fp16 + l.optim_bytes_fp32 for l in stage_layers
+        ) // tp
+        act_per_micro = sum(l.act_bytes_fp16 for l in stage_layers) // tp
+        if self.use_recompute:
+            # Only boundary activations persist per in-flight micro-batch.
+            act_per_micro = (
+                layers_per_stage * model.batch_size * seq_len * model.d_model * FP16
+            ) // tp
+        gpu_needed = state_bytes + act_per_micro * min(pp, num_micro_batches)
+        if gpu_needed > self.gpu_budget:
+            return None
+
+        # Per-micro-batch stage time: compute / tp + TP collectives.
+        stage_compute = sum(
+            l.fwd_time + l.bwd_time + l.recompute_time for l in stage_layers
+        ) / tp
+        act_tensor = model.batch_size * seq_len * model.d_model * FP16
+        tp_comm = 0.0
+        if tp > 1:
+            # Two all-reduces forward + two backward per layer.
+            per_layer = 4 * self.collectives.all_reduce(act_tensor, tp)
+            tp_comm = per_layer * layers_per_stage
+        stage_time = stage_compute + tp_comm
+
+        # GPipe schedule: (m + p - 1) stage slots per iteration.
+        pipeline_time = (num_micro_batches + pp - 1) * stage_time
+
+        # Data-parallel gradient all-reduce at the end of the step.
+        grad_bytes = sum(l.param_bytes_fp16 for l in stage_layers) // tp // 2
+        dp_comm = self.collectives.all_reduce(grad_bytes, dp) if dp > 1 else 0.0
+
+        # GPU optimizer step over this rank's parameters.
+        update = self.cost.update_time(
+            sum(l.param_count for l in stage_layers) // tp,
+            self.cluster.server.gpus[0],
+        )
+
+        iteration_time = pipeline_time + dp_comm + update
+        global_batch = micro_batch * num_micro_batches * dp
+        return ParallelismChoice(
+            tensor_parallel=tp,
+            pipeline_parallel=pp,
+            data_parallel=dp,
+            micro_batch=micro_batch,
+            num_micro_batches=num_micro_batches,
+            iteration_time=iteration_time,
+            samples_per_second=global_batch / iteration_time,
+            gpu_bytes_needed=gpu_needed,
+        )
+
+    def best_strategy(
+        self,
+        config: ModelConfig,
+        micro_batch: int | None = None,
+        num_micro_batches: int = 8,
+        seq_len: int = 2048,
+    ) -> ParallelismChoice:
+        """Search all factorizations and micro-batch sizes; raise OOM if
+        nothing fits (the missing bars of Figure 7).
+
+        When ``micro_batch`` is None the search sweeps powers of two — the
+        "manually search the best parallelism strategy" of Section 6.1.
+        """
+        micro_batches = (
+            (micro_batch,) if micro_batch is not None
+            else (1, 2, 4, 8, 16, 32, 64, 128)
+        )
+        best: ParallelismChoice | None = None
+        for tp, pp, dp in self._factorizations():
+            for micro in micro_batches:
+                choice = self._evaluate(
+                    config, tp, pp, dp, micro, num_micro_batches, seq_len
+                )
+                if choice is None:
+                    continue
+                if best is None or choice.samples_per_second > best.samples_per_second:
+                    best = choice
+        if best is None:
+            raise OutOfMemoryError(
+                device="megatron",
+                requested_bytes=config.build(1, seq_len).model_state_bytes,
+                available_bytes=self.gpu_budget * self.cluster.num_gpus,
+            )
+        return best

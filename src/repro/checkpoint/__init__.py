@@ -1,0 +1,36 @@
+"""Checkpointing, recovery and elastic re-sharding.
+
+Section 3.1 of the paper motivates two operational requirements this
+package serves:
+
+- **Failure and recovery**: "pre-training tasks would encounter GPU
+  failure with a high probability, and should be restarted after
+  failure" — training state (FP32 master parameters, Adam moments, the
+  FP16 buffers, step counters and data-stream position) round-trips
+  through durable snapshots.
+- **Seamless scalability**: "when users wish to tune the amount of
+  resources for their tasks, there should be no need to re-configure
+  their parallel schemes" — ZeRO-sharded state written by K ranks can be
+  re-sharded and restored onto any other rank count.
+"""
+
+from repro.checkpoint.snapshot import Snapshot, load_snapshot, save_snapshot
+from repro.checkpoint.trainer_state import (
+    capture_engine_state,
+    capture_training_state,
+    restore_engine_state,
+    restore_training_state,
+)
+from repro.checkpoint.reshard import ShardedCheckpoint, reshard
+
+__all__ = [
+    "Snapshot",
+    "save_snapshot",
+    "load_snapshot",
+    "capture_training_state",
+    "restore_training_state",
+    "capture_engine_state",
+    "restore_engine_state",
+    "ShardedCheckpoint",
+    "reshard",
+]

@@ -1,0 +1,95 @@
+"""Durable snapshots: atomic write, integrity check, versioning.
+
+Snapshots are written with numpy's ``savez`` plus a small JSON manifest
+carrying metadata and per-array checksums, staged through a temporary
+file and renamed into place so a crash mid-save never corrupts the latest
+good checkpoint (the failure model of Section 3.1).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Snapshot:
+    """An in-memory snapshot: named arrays plus JSON-safe metadata."""
+
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    def add_array(self, name: str, array: np.ndarray) -> None:
+        if name in self.arrays:
+            raise CheckpointError(f"duplicate array name {name!r}")
+        self.arrays[name] = np.asarray(array)
+
+    def checksum(self, name: str) -> int:
+        return zlib.crc32(np.ascontiguousarray(self.arrays[name]).tobytes())
+
+
+def save_snapshot(snapshot: Snapshot, path: str) -> None:
+    """Atomically persist ``snapshot`` to ``path`` (a .npz file)."""
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "metadata": snapshot.metadata,
+        "checksums": {
+            name: snapshot.checksum(name) for name in snapshot.arrays
+        },
+    }
+    payload = dict(snapshot.arrays)
+    payload["__manifest__"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, staging = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(staging, path)
+    except Exception:
+        if os.path.exists(staging):
+            os.unlink(staging)
+        raise
+
+
+def load_snapshot(path: str) -> Snapshot:
+    """Load and verify a snapshot written by :func:`save_snapshot`."""
+    if not os.path.exists(path):
+        raise CheckpointError(f"no checkpoint at {path!r}")
+    try:
+        with np.load(path) as data:
+            if "__manifest__" not in data:
+                raise CheckpointError(f"{path!r} is not a repro snapshot")
+            manifest = json.loads(bytes(data["__manifest__"]).decode("utf-8"))
+            if manifest.get("format_version") != FORMAT_VERSION:
+                raise CheckpointError(
+                    f"unsupported snapshot version {manifest.get('format_version')}"
+                )
+            snapshot = Snapshot(metadata=manifest["metadata"])
+            for name in data.files:
+                if name == "__manifest__":
+                    continue
+                snapshot.arrays[name] = data[name]
+    except CheckpointError:
+        raise
+    except Exception as exc:  # zip/npy corruption surfaces in many shapes
+        raise CheckpointError(f"failed to read snapshot {path!r}: {exc}") from exc
+    for name, expected in manifest["checksums"].items():
+        if name not in snapshot.arrays:
+            raise CheckpointError(f"snapshot missing array {name!r}")
+        actual = snapshot.checksum(name)
+        if actual != expected:
+            raise CheckpointError(
+                f"checksum mismatch for {name!r}: snapshot is corrupt"
+            )
+    return snapshot

@@ -1,0 +1,195 @@
+"""Command-line interface: plan, simulate, train and reproduce.
+
+Entry points a downstream adopter needs without writing Python::
+
+    python -m repro.cli models                     # the Table 4 zoo
+    python -m repro.cli plan --model gpt3-28b --servers 1
+    python -m repro.cli simulate --model gpt3-13b --servers 1 --batch 4
+    python -m repro.cli train --steps 100 --lock-free --ssd
+    python -m repro.cli experiment table5          # any table/figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.units import GiB, KiB, MiB
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.models import MODEL_ZOO
+
+    print(f"{'name':<14} {'family':<7} {'#layer':>6} {'#head':>5} "
+          f"{'d_model':>8} {'d_ffn':>7} {'#expert':>8} {'computed':>10}")
+    for config in MODEL_ZOO.values():
+        params = config.build(1, 128).param_count
+        print(f"{config.name:<14} {config.family:<7} {config.num_layers:>6} "
+              f"{config.num_heads:>5} {config.d_model:>8} {config.d_ffn:>7} "
+              f"{config.num_experts or '-':>8} {params / 1e9:>9.1f}B")
+    return 0
+
+
+def _resolve_cluster(args: argparse.Namespace):
+    """Build the cluster from --cluster FILE if given, else --servers."""
+    if getattr(args, "cluster", None):
+        from repro.hardware.config_io import load_cluster
+
+        return load_cluster(args.cluster)
+    from repro.hardware.cluster import a100_cluster
+
+    return a100_cluster(args.servers)
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.engine.planner import CapacityPlanner
+    from repro.models import get_model
+
+    cluster = _resolve_cluster(args)
+    planner = CapacityPlanner(cluster)
+    config = get_model(args.model)
+    print(f"cluster: {cluster.num_servers} server(s), {cluster.num_gpus} GPUs")
+    for system in ("deepspeed", "angel-ptm"):
+        layers = planner.max_layers(config, system, use_ssd=args.ssd)
+        scaled = config.with_layers(layers)
+        params = scaled.build(1, args.seq_len).param_count
+        batch = planner.max_micro_batch(scaled, system, use_ssd=args.ssd)
+        print(f"  {system:<10} max depth {layers:4d} layers "
+              f"({params / 1e9:6.1f}B), max micro-batch {batch}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.models import get_model
+    from repro.scheduler.unified import UnifiedScheduler
+
+    cluster = _resolve_cluster(args)
+    scheduler = UnifiedScheduler(cluster)
+    result = scheduler.simulate(
+        get_model(args.model), args.batch, seq_len=args.seq_len,
+        use_ssd=args.ssd, lock_free=args.lock_free,
+    )
+    plan = result.plan
+    print(f"model           : {args.model} x {plan.trace.num_layers} layers")
+    print(f"cluster         : {cluster.num_gpus} GPUs "
+          f"({cluster.num_servers} servers)")
+    print(f"iteration time  : {result.iteration_time:.3f}s")
+    print(f"throughput      : {result.samples_per_second:.2f} samples/s")
+    print(f"GPU busy        : {result.gpu_busy_fraction:.1%}")
+    print(f"PCIe busy       : {result.pcie_busy_fraction:.1%}")
+    print(f"cached layers   : {plan.cache.num_cached}/{plan.trace.num_layers}")
+    if args.lock_free:
+        print(f"update staleness: {result.staleness:.2f} iterations")
+    breakdown = result.breakdown()
+    print("time by resource:")
+    for kind in ("compute", "pcie", "nccl", "cpu", "ssd"):
+        if breakdown[kind] > 0:
+            print(f"  {kind:>8}: {breakdown[kind]:8.3f}s "
+                  f"({breakdown[f'{kind}_fraction']:5.1%})")
+    print(f"bottleneck      : {breakdown['critical_stream']}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.engine.angel import AngelConfig, initialize
+    from repro.nn import MixedPrecisionAdam, TinyTransformerLM, lm_synthetic_batches
+
+    model = TinyTransformerLM(
+        vocab_size=32, d_model=32, d_ffn=64, num_heads=4,
+        num_layers=args.layers, max_seq=16, seed=args.seed,
+    )
+    optimizer = MixedPrecisionAdam(model.parameters(), lr=args.lr)
+    config = AngelConfig(
+        gpu_memory_bytes=args.gpu_mib * MiB,
+        cpu_memory_bytes=64 * MiB,
+        ssd_bytes=32 * MiB if args.ssd else 0,
+        page_bytes=64 * KiB,
+        lock_free=args.lock_free,
+        update_interval=4 if args.lock_free else 1,
+    )
+    engine = initialize(model, optimizer, config)
+    losses = []
+    for step, batch in enumerate(
+        lm_synthetic_batches(32, 16, 8, args.steps, seed=args.seed + 1)
+    ):
+        loss = engine(batch)
+        engine.backward(loss)
+        engine.step()
+        losses.append(loss.item())
+        if step % max(1, args.steps // 5) == 0:
+            print(f"step {step:4d}  loss {np.mean(losses[-10:]):.4f}")
+    print(f"final loss {np.mean(losses[-10:]):.4f} "
+          f"(from {np.mean(losses[:10]):.4f})")
+    for tier, stats in engine.memory_report().items():
+        print(f"  {tier}: peak {stats['peak_pages']} pages")
+    engine.close()
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.experiments as experiments
+
+    name = args.name.replace("-", "_")
+    if name not in experiments.__all__:
+        print(f"unknown experiment {args.name!r}; choose from: "
+              f"{', '.join(experiments.__all__)}", file=sys.stderr)
+        return 2
+    module = getattr(experiments, name)
+    print(module.format_report(module.run()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Angel-PTM reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the Table 4 model zoo").set_defaults(
+        func=_cmd_models
+    )
+
+    plan = sub.add_parser("plan", help="max model scale / batch for a cluster")
+    plan.add_argument("--model", default="gpt3-28b")
+    plan.add_argument("--servers", type=int, default=1)
+    plan.add_argument("--cluster", help="JSON cluster description (see hardware.config_io)")
+    plan.add_argument("--seq-len", type=int, default=2048)
+    plan.add_argument("--ssd", action="store_true")
+    plan.set_defaults(func=_cmd_plan)
+
+    simulate = sub.add_parser("simulate", help="simulate one training iteration")
+    simulate.add_argument("--model", default="gpt3-13b")
+    simulate.add_argument("--servers", type=int, default=1)
+    simulate.add_argument("--cluster", help="JSON cluster description (see hardware.config_io)")
+    simulate.add_argument("--batch", type=int, default=4)
+    simulate.add_argument("--seq-len", type=int, default=2048)
+    simulate.add_argument("--ssd", action="store_true")
+    simulate.add_argument("--lock-free", action="store_true")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    train = sub.add_parser("train", help="functional training demo (Figure 6)")
+    train.add_argument("--steps", type=int, default=100)
+    train.add_argument("--layers", type=int, default=2)
+    train.add_argument("--lr", type=float, default=2e-3)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--gpu-mib", type=int, default=4)
+    train.add_argument("--ssd", action="store_true")
+    train.add_argument("--lock-free", action="store_true")
+    train.set_defaults(func=_cmd_train)
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", help="e.g. table5, figure8, ablation_page_size")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Angel-PTM engines: capacity planning and the Figure-6 training API.
+
+``planner`` answers "what is the largest model / batch this cluster can
+train?" for Angel-PTM and the baselines (Table 5). ``angel`` exposes the
+paper's programming interface (Figure 6) over the functional numpy
+substrate, so real models actually train through the paged hierarchical
+memory.
+"""
+
+from repro.engine.planner import CapacityPlanner, CapacityReport
+from repro.engine.angel import AngelConfig, AngelModel, initialize
+from repro.engine.moe import MoEIterationResult, MoESimEngine
+
+__all__ = [
+    "CapacityPlanner",
+    "CapacityReport",
+    "AngelConfig",
+    "AngelModel",
+    "initialize",
+    "MoESimEngine",
+    "MoEIterationResult",
+]

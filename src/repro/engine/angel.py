@@ -1,0 +1,325 @@
+"""The Angel-PTM programming interface (Figure 6), functional mode.
+
+``initialize(model, optimizer, config)`` wraps a numpy model so that its
+FP16 working parameters and FP32 optimizer states physically live in paged
+hierarchical memory: a capacity-limited "GPU" pool, a CPU pool, and an
+optional file-backed SSD pool. Forward hooks fetch each module's parameter
+pages into the GPU pool on first touch (evicting least-recently-used pages
+under pressure), the backward pass deposits gradients into CPU buffers,
+and ``step()`` round-trips the FP32 master states through their pages —
+through real file I/O when the SSD tier is enabled.
+
+The training loop is exactly the paper's:
+
+    model = angelptm.initialize(model, optimizer, config)
+    for batch in batches:
+        loss = model(batch)
+        model.backward(loss)
+        model.step()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.hardware.device import DeviceKind
+from repro.lockfree.buffers import GradientBuffers
+from repro.memory.allocator import PageAllocator
+from repro.memory.pool import DevicePool
+from repro.memory.tensor import PagedTensor
+from repro.nn.data import Batch
+from repro.nn.functional import cross_entropy
+from repro.nn.layers import Module
+from repro.nn.optim import MixedPrecisionAdam
+from repro.nn.tensor import Tensor
+from repro.units import KiB, MiB
+
+
+@dataclass(frozen=True)
+class AngelConfig:
+    """Functional-engine configuration (the ``config`` of Figure 6)."""
+
+    gpu_memory_bytes: int = 64 * MiB
+    cpu_memory_bytes: int = 256 * MiB
+    ssd_bytes: int = 0
+    page_bytes: int = 256 * KiB
+    mixed_precision: bool = True
+    lock_free: bool = False
+    update_interval: int = 1
+    ssd_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.update_interval < 1:
+            raise ConfigurationError("update_interval must be >= 1")
+        if self.lock_free and self.update_interval < 2:
+            raise ConfigurationError(
+                "lock-free mode implies update_interval >= 2 "
+                "(1 is synchronous training)"
+            )
+
+
+@dataclass
+class _Managed:
+    """One parameter's presence across the memory hierarchy."""
+
+    index: int
+    name: str
+    param: Tensor
+    fp16: PagedTensor     # buffered FP16 parameters (p'16)
+    master: PagedTensor   # FP32 master parameters (p32)
+    moment1: PagedTensor  # FP32 first moment (m32)
+    moment2: PagedTensor  # FP32 second moment (v32)
+    last_access: int = -1
+    first_access: int = -1
+
+
+class AngelModel:
+    """A model wrapped by the Angel-PTM functional engine."""
+
+    def __init__(self, model: Module, optimizer: MixedPrecisionAdam, config: AngelConfig):
+        if not isinstance(optimizer, MixedPrecisionAdam):
+            raise ConfigurationError(
+                "the functional engine requires MixedPrecisionAdam "
+                "(FP32 master states, Section 2.1)"
+            )
+        self.module = model
+        self.optimizer = optimizer
+        self.config = config
+        self._clock = 0
+        self._iteration = 0
+        self._pending = 0
+
+        pools = {
+            DeviceKind.GPU: DevicePool(
+                DeviceKind.GPU, config.gpu_memory_bytes, config.page_bytes, backend="ram"
+            ),
+            DeviceKind.CPU: DevicePool(
+                DeviceKind.CPU, config.cpu_memory_bytes, config.page_bytes, backend="ram"
+            ),
+        }
+        if config.ssd_bytes:
+            pools[DeviceKind.SSD] = DevicePool(
+                DeviceKind.SSD, config.ssd_bytes, config.page_bytes,
+                backend="file", file_path=config.ssd_path,
+            )
+        self.allocator = PageAllocator(pools)
+        self._state_tier = DeviceKind.SSD if config.ssd_bytes else DeviceKind.CPU
+
+        self._managed: list[_Managed] = []
+        self._by_param: dict[int, _Managed] = {}
+        self._register_parameters()
+        self._buffers = GradientBuffers([m.param for m in self._managed])
+        self._install_hooks()
+
+        # Tracer-informed prefetch: training is iterative, so the module
+        # access order recorded in the first iteration predicts every
+        # later one (Section 4.2). While module k computes, module k+1's
+        # pages are staged if the pool has room.
+        self._module_order: list[int] = []      # module ids, first iteration
+        self._module_cursor = 0
+        self._order_recorded = False
+        self._module_of_id: dict[int, Module] = {}
+        self.prefetch_hits = 0
+        self.demand_fetches = 0
+
+    # ------------------------------------------------------------------
+    # Registration and hooks
+    # ------------------------------------------------------------------
+    def _register_parameters(self) -> None:
+        params = list(self.module.named_parameters())
+        if len(params) != len(self.optimizer.params):
+            raise ConfigurationError("optimizer does not cover the model's parameters")
+        for index, (name, param) in enumerate(params):
+            fp16 = self.allocator.allocate(param.shape, np.float16, DeviceKind.CPU)
+            fp16.write_array(param.data.astype(np.float16))
+            master = self.allocator.allocate(param.shape, np.float32, self._state_tier)
+            master.write_array(param.data)
+            moment1 = self.allocator.allocate(param.shape, np.float32, self._state_tier)
+            moment1.fill(0.0)
+            moment2 = self.allocator.allocate(param.shape, np.float32, self._state_tier)
+            moment2.fill(0.0)
+            managed = _Managed(
+                index=index, name=name, param=param, fp16=fp16,
+                master=master, moment1=moment1, moment2=moment2,
+            )
+            self._managed.append(managed)
+            self._by_param[id(param)] = managed
+
+    def _install_hooks(self) -> None:
+        for module in self.module.modules():
+            if module._parameters:
+                module.add_forward_hook(self._on_module_forward)
+
+    def _on_module_forward(self, module: Module) -> None:
+        """Fetch the module's parameter pages into the GPU pool."""
+        self._record_access(module)
+        needed = [self._by_param[id(p)] for p in module._parameters.values()]
+        for managed in needed:
+            if managed.fp16.device_kind == DeviceKind.GPU:
+                self.prefetch_hits += 1
+            else:
+                self.demand_fetches += 1
+            self._fetch(managed, pinned={m.index for m in needed})
+        self._prefetch_next(pinned={m.index for m in needed})
+
+    # ------------------------------------------------------------------
+    # Tracer-informed prefetch
+    # ------------------------------------------------------------------
+    def _record_access(self, module: Module) -> None:
+        if not self._order_recorded:
+            self._module_order.append(id(module))
+            self._module_of_id[id(module)] = module
+            return
+        # Keep the replay cursor aligned with the recorded order; the
+        # order can repeat within an iteration (e.g. recompute), so we
+        # resynchronize by searching forward.
+        order = self._module_order
+        cursor = self._module_cursor
+        for offset in range(len(order)):
+            if order[(cursor + offset) % len(order)] == id(module):
+                self._module_cursor = (cursor + offset + 1) % len(order)
+                return
+
+    def _prefetch_next(self, pinned: set[int]) -> None:
+        """Best-effort staging of the next module's parameters."""
+        if not self._order_recorded or not self._module_order:
+            return
+        next_id = self._module_order[self._module_cursor % len(self._module_order)]
+        next_module = self._module_of_id.get(next_id)
+        if next_module is None:
+            return
+        for param in next_module._parameters.values():
+            managed = self._by_param[id(param)]
+            if managed.fp16.device_kind == DeviceKind.GPU:
+                continue
+            try:
+                managed.fp16.move(DeviceKind.GPU)
+            except OutOfMemoryError:
+                return  # best effort: never evict for a prefetch
+
+    def _fetch(self, managed: _Managed, pinned: set[int]) -> None:
+        self._clock += 1
+        if managed.first_access < 0:
+            managed.first_access = self._clock
+        managed.last_access = self._clock
+        if managed.fp16.device_kind != DeviceKind.GPU:
+            self._move_with_eviction(managed, pinned)
+        # The compute path reads the buffered FP16 parameters.
+        managed.param.data[...] = managed.fp16.read_array().astype(np.float32)
+
+    def _move_with_eviction(self, managed: _Managed, pinned: set[int]) -> None:
+        while True:
+            try:
+                managed.fp16.move(DeviceKind.GPU)
+                return
+            except OutOfMemoryError:
+                victim = self._pick_victim(pinned)
+                if victim is None:
+                    raise
+                victim.fp16.move(DeviceKind.CPU)
+
+    def _pick_victim(self, pinned: set[int]) -> _Managed | None:
+        """Least-recently-used GPU-resident parameter outside ``pinned``."""
+        candidates = [
+            m for m in self._managed
+            if m.index not in pinned and m.fp16.device_kind == DeviceKind.GPU
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda m: m.last_access)
+
+    # ------------------------------------------------------------------
+    # Figure 6 training API
+    # ------------------------------------------------------------------
+    def __call__(self, batch: Batch) -> Tensor:
+        logits = self.module(batch.inputs, self.config.mixed_precision)
+        return cross_entropy(logits, batch.targets)
+
+    def backward(self, loss: Tensor) -> None:
+        self.module.zero_grad()
+        loss.backward()
+        # Offload gradients to the CPU buffers (Algorithm 2, line 24).
+        self._buffers.accumulate_all([m.param for m in self._managed])
+
+    def step(self) -> bool:
+        """Run (or defer) the optimizer pass; returns True if it ran."""
+        self._iteration += 1
+        self._pending += 1
+        if not self._order_recorded and self._module_order:
+            # The first iteration's access pattern is now complete; later
+            # iterations replay it, enabling prefetch (Section 4.2).
+            self._order_recorded = True
+            self._module_cursor = 0
+        interval = self.config.update_interval if self.config.lock_free else 1
+        if self._pending < interval:
+            return False
+        self._update_sweep()
+        self._pending = 0
+        return True
+
+    def _update_sweep(self) -> None:
+        """One updating-thread pass: page in FP32 states, apply Adam,
+        page out (Algorithm 2, lines 2-7)."""
+        opt = self.optimizer
+        opt.bump_step()
+        for managed in reversed(self._managed):
+            grad, count = self._buffers.drain(managed.index)
+            if count == 0:
+                continue
+            index = managed.index
+            # Fetch p32, m32, v32 from their tier (real file I/O on SSD).
+            opt.master[index][...] = managed.master.read_array()
+            opt.m[index][...] = managed.moment1.read_array()
+            opt.v[index][...] = managed.moment2.read_array()
+            refreshed = opt.apply_gradient(index, grad / count)
+            # Offload updated states and refresh the FP16 buffers.
+            managed.master.write_array(opt.master[index])
+            managed.moment1.write_array(opt.m[index])
+            managed.moment2.write_array(opt.v[index])
+            managed.fp16.write_array(refreshed.astype(np.float16))
+            managed.param.data[...] = refreshed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def access_trace(self) -> list[tuple[str, int, int]]:
+        """(name, first_id, end_id) per parameter — the Tracer's view."""
+        return [
+            (m.name, m.first_access, m.last_access)
+            for m in self._managed
+            if m.first_access >= 0
+        ]
+
+    def memory_report(self) -> dict[str, dict[str, int]]:
+        report = {}
+        for kind in (DeviceKind.GPU, DeviceKind.CPU, DeviceKind.SSD):
+            try:
+                pool = self.allocator.pool(kind)
+            except Exception:
+                continue
+            report[kind.name.lower()] = {
+                "pages_in_use": pool.pages_in_use,
+                "used_bytes": pool.used_bytes,
+                "free_bytes": pool.free_bytes,
+                "peak_pages": pool.peak_in_use,
+            }
+        return report
+
+    def close(self) -> None:
+        self.allocator.close()
+
+    def __enter__(self) -> "AngelModel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def initialize(
+    model: Module, optimizer: MixedPrecisionAdam, config: AngelConfig | None = None
+) -> AngelModel:
+    """Figure 6's ``angelptm.initialize(model, optimizer, config)``."""
+    return AngelModel(model, optimizer, config or AngelConfig())

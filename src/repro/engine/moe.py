@@ -1,0 +1,206 @@
+"""Expert-parallel training engine for T5-MoE models (Sections 6.4-6.5).
+
+Under expert parallelism the expert parameters of each MoE layer are
+sharded across all GPUs while non-MoE parameters are duplicated. Each MoE
+layer's forward pass is: attention (dense, local) -> all-to-all dispatch ->
+expert FFN on the owning GPUs -> all-to-all combine; the backward pass
+mirrors it. Expert optimizer states are updated locally (no gradient
+synchronization for experts); dense parameters take an all-reduce.
+
+With the SSD tier enabled, each GPU's expert optimizer states stream
+through the CPU from SSD; the lock-free mechanism (Section 4.3) removes
+that path from the critical iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import ClusterSpec
+from repro.models.moe import MoEConfig
+from repro.models.transformer import FP16, FP32
+from repro.tracer.costmodel import CostModel
+from repro.sim.engine import Simulator
+from repro.zero.collectives import CollectiveModel
+from repro.zero.expert_parallel import ExpertParallelPlan
+
+
+@dataclass(frozen=True)
+class MoEIterationResult:
+    """Steady-state iteration metrics for an expert-parallel model."""
+
+    iteration_time: float
+    samples_per_second: float
+    total_params: int
+    experts_per_gpu: int
+    gpu_busy_fraction: float
+    alltoall_fraction: float
+    update_sweep_time: float
+    staleness: float
+
+
+class MoESimEngine:
+    """Discrete-event model of Angel-PTM's expert-parallel training."""
+
+    #: MoE kernels run far below dense efficiency: every expert processes a
+    #: small slice of the batch (narrow GEMMs), and routing/permutation
+    #: overhead surrounds each layer. Calibrated against Table 6's sync
+    #: throughput at the 10T/576-GPU operating point.
+    MOE_COMPUTE_EFFICIENCY = 0.045
+
+    def __init__(self, cluster: ClusterSpec, cost_model: CostModel | None = None):
+        self.cluster = cluster
+        server = cluster.server
+        self.cost = cost_model or CostModel(gpu=server.gpus[0], cpu=server.cpu)
+        self.collectives = CollectiveModel(cluster)
+
+    def simulate(
+        self,
+        moe: MoEConfig,
+        num_moe_layers: int,
+        micro_batch: int,
+        seq_len: int = 2048,
+        num_heads: int = 16,
+        use_ssd: bool = False,
+        lock_free: bool = False,
+    ) -> MoEIterationResult:
+        """One iteration of the T5-MoE training loop."""
+        if num_moe_layers <= 0:
+            raise ConfigurationError("num_moe_layers must be positive")
+        num_gpus = self.cluster.num_gpus
+        server = self.cluster.server
+        plan = ExpertParallelPlan(moe, num_gpus, num_moe_layers)
+        collect = self.collectives
+
+        tokens = micro_batch * seq_len
+        dm = moe.d_model
+        # Dense (replicated) per-layer work: attention + router.
+        attn_params = 4 * dm * dm
+        attn_flops = 2.0 * attn_params * tokens
+        # Expert work landing on each GPU: with uniform top-k routing and
+        # capacity factor 1 every GPU processes its share of routed tokens,
+        # which equals its local token count.
+        expert_flops = 2.0 * moe.expert_param_count * tokens * moe.top_k
+        efficiency = self.cost.efficiency(micro_batch) * (
+            self.MOE_COMPUTE_EFFICIENCY / self.cost.base_efficiency
+        )
+        gpu_flops = server.gpus[0].compute_flops * efficiency
+        fwd_dense = attn_flops / gpu_flops
+        fwd_expert = expert_flops / gpu_flops
+
+        a2a_fwd = plan.alltoall_time_per_layer(collect, micro_batch, seq_len)
+
+        sim = Simulator()
+        gpu = sim.stream("gpu", "compute")
+        nccl = sim.stream("nccl", "nccl")
+        cpu = sim.stream("cpu", "cpu")
+        h2d = sim.stream("h2d", "pcie")
+        d2h = sim.stream("d2h", "pcie")
+        # Each rank streams its optimizer shard from its own NVMe device;
+        # reads and writes pipeline on independent queues (full duplex).
+        ssd_read_stream = sim.stream("ssd.read", "ssd")
+        ssd_write_stream = sim.stream("ssd.write", "ssd")
+
+        # The buffered FP16 parameters of this rank's experts live in CPU
+        # memory (Algorithm 2's p'16 buffers) and cross PCIe every pass;
+        # computed gradients flow back over PCIe after each backward layer.
+        expert_layer_fp16 = (
+            plan.expert_params_per_gpu // num_moe_layers
+        ) * FP16
+
+        prev = None
+        for phase, scale in (("fwd", 1.0), ("bwd", 2.0)):
+            for i in range(num_moe_layers):
+                deps = [prev] if prev is not None else []
+                fetch = sim.add_task(
+                    f"{phase}.fetch.l{i}", h2d,
+                    server.pcie.transfer_time(expert_layer_fp16), deps=deps,
+                )
+                dense = sim.add_task(
+                    f"{phase}.attn.l{i}", gpu, scale * fwd_dense, deps=deps
+                )
+                dispatch = sim.add_task(
+                    f"{phase}.a2a1.l{i}", nccl, scale * a2a_fwd / 2, deps=[dense]
+                )
+                expert = sim.add_task(
+                    f"{phase}.expert.l{i}", gpu, scale * fwd_expert,
+                    deps=[dispatch, fetch],
+                )
+                prev = sim.add_task(
+                    f"{phase}.a2a2.l{i}", nccl, scale * a2a_fwd / 2, deps=[expert]
+                )
+                if phase == "bwd":
+                    prev = sim.add_task(
+                        f"bwd.offload.l{i}", d2h,
+                        server.pcie.transfer_time(expert_layer_fp16),
+                        deps=[prev],
+                    )
+
+        # Dense gradient all-reduce (attention + router are replicated).
+        dense_grad_bytes = num_moe_layers * (attn_params + dm * moe.num_experts) * FP16
+        grad_sync = sim.add_task(
+            "dense.allreduce", nccl,
+            collect.all_reduce(dense_grad_bytes, num_gpus), deps=[prev],
+        )
+
+        # Local expert updates: memory-bound Adam over this GPU's experts.
+        expert_params_local = plan.expert_params_per_gpu
+        dense_params_local = dense_grad_bytes // FP16
+        update_tasks = []
+        last = None
+        ssd_link = server.ssd_io
+        optim_bytes_local = 3 * expert_params_local * FP32
+        per_layer_params = expert_params_local // num_moe_layers
+        per_layer_optim = optim_bytes_local // num_moe_layers
+        for i in range(num_moe_layers):
+            deps = [grad_sync] if last is None else [last]
+            if use_ssd:
+                if ssd_link is None:
+                    raise ConfigurationError("cluster has no SSD tier")
+                read = sim.add_task(
+                    f"ssd.read.l{i}", ssd_read_stream,
+                    ssd_link.transfer_time(per_layer_optim),
+                )
+                deps.append(read)
+            update = sim.add_task(
+                f"upd.l{i}", cpu,
+                self.cost.cpu_update_time(per_layer_params + dense_params_local // num_moe_layers),
+                deps=deps,
+            )
+            last = update
+            update_tasks.append(update)
+            if use_ssd:
+                write = sim.add_task(
+                    f"ssd.write.l{i}", ssd_write_stream,
+                    ssd_link.transfer_time(per_layer_optim), deps=[update],
+                )
+                update_tasks.append(write)
+
+        timeline = sim.run()
+        gpu_path_end = timeline.end_of(grad_sync.name)
+        update_end = max(timeline.end_of(t.name) for t in update_tasks)
+        update_sweep = update_end - timeline.end_of(grad_sync.name)
+        if lock_free:
+            iteration_time = gpu_path_end
+            staleness = update_sweep / gpu_path_end if gpu_path_end else 0.0
+        else:
+            iteration_time = timeline.makespan
+            staleness = 0.0
+
+        total_params = (
+            moe.total_expert_params * num_moe_layers
+            + dense_params_local * 1  # replicated dense parameters
+        )
+        global_batch = micro_batch * num_gpus
+        alltoall_time = timeline.busy_time(kind="nccl")
+        return MoEIterationResult(
+            iteration_time=iteration_time,
+            samples_per_second=global_batch / iteration_time,
+            total_params=total_params,
+            experts_per_gpu=plan.experts_per_gpu,
+            gpu_busy_fraction=timeline.busy_time(stream="gpu") / iteration_time,
+            alltoall_fraction=alltoall_time / iteration_time,
+            update_sweep_time=update_sweep,
+            staleness=staleness,
+        )

@@ -1,0 +1,216 @@
+"""Capacity planner: maximum model scale and maximum batch size (Table 5).
+
+The planner captures the paper's Section 6.2 analysis:
+
+- DeepSpeed "statically partitions the model states across GPUs and CPUs,
+  the maximum model scale will be limited by the CPU memory" — despite
+  free GPU memory.
+- Angel-PTM "uses the dynamic memory management that moves partial model
+  states into GPU memory to achieve larger model scale": the capacity pool
+  is page-efficient CPU memory *plus* whatever GPU memory the working set
+  leaves free (plus SSD for optimizer states when enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OutOfMemoryError
+from repro.hardware.cluster import ClusterSpec
+from repro.models.zoo import ModelConfig
+from repro.tracer.costmodel import CostModel
+from repro.tracer.tracer import IterationTrace, Tracer
+from repro.zero.sharding import shard_bytes
+
+#: Page-based management wastes only page-tail slack, but the host also
+#: needs the OS, dataset pipeline and NCCL bounce buffers; 80% of DDR is
+#: available to the pre-allocated page pools.
+ANGEL_CPU_USABLE_FRACTION = 0.80
+
+#: Angel's per-GPU reserve for workspaces and communication buffers.
+ANGEL_GPU_RESERVE_FRACTION = 0.08
+
+#: Table 1's activation totals deliberately simplify attention scores to
+#: ``b x s``; real working sets also hold the per-head ``b x h x s x s``
+#: score tensors and kernel workspaces. The batch-capacity checks scale
+#: activation bytes by this factor (calibrated against Table 5's #Batch).
+ACT_WORKING_SET_OVERHEAD = 1.5
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Whether a model fits a cluster under a given system's rules."""
+
+    system: str
+    fits: bool
+    reason: str
+    state_bytes_per_server: int
+    capacity_bytes_per_server: int
+    gpu_working_set: int
+    gpu_budget: int
+
+
+class CapacityPlanner:
+    """Max-model-scale and max-batch search for Angel-PTM and DeepSpeed."""
+
+    def __init__(self, cluster: ClusterSpec, cost_model: CostModel | None = None):
+        self.cluster = cluster
+        server = cluster.server
+        self.cost = cost_model or CostModel(gpu=server.gpus[0], cpu=server.cpu)
+        self._tracer = Tracer(self.cost, use_recompute=True)
+
+    # ------------------------------------------------------------------
+    # Shared accounting
+    # ------------------------------------------------------------------
+    def _trace(self, config: ModelConfig, micro_batch: int, seq_len: int) -> IterationTrace:
+        return self._tracer.trace(config.build(batch_size=micro_batch, seq_len=seq_len))
+
+    def _per_rank_state_bytes(self, trace: IterationTrace) -> int:
+        """Host bytes per rank: FP16 buffered params + FP16 buffered grads
+        (Algorithm 2's double buffers), the FP32 optimizer states, and a
+        pinned page-pool staging copy of params + grads for asynchronous
+        PCIe movement — 20 bytes per parameter in total."""
+        num_ranks = self.cluster.num_gpus
+        return (
+            4 * shard_bytes(trace.total_fp16_param_bytes, num_ranks)
+            + shard_bytes(trace.total_optim_bytes, num_ranks)
+        )
+
+    def _gpu_working_set(self, trace: IterationTrace) -> int:
+        """Transient GPU bytes Angel-PTM needs with full streaming:
+        the largest gathered layer (x2 for the gather of the next layer
+        overlapping the current compute), plus that layer's activations
+        (with the working-set overhead factor) and gradients."""
+        largest = max(l.param_bytes_fp16 for l in trace.layers)
+        act_peak = max(
+            l.act_bytes_fp16 * ACT_WORKING_SET_OVERHEAD + l.grad_bytes_fp16
+            for l in trace.layers
+        )
+        return int(2 * largest + act_peak)
+
+    # ------------------------------------------------------------------
+    # Fit checks
+    # ------------------------------------------------------------------
+    def angel_fits(
+        self,
+        config: ModelConfig,
+        micro_batch: int = 1,
+        seq_len: int = 2048,
+        use_ssd: bool = False,
+    ) -> CapacityReport:
+        trace = self._trace(config, micro_batch, seq_len)
+        server = self.cluster.server
+        ranks_per_server = server.num_gpus
+        num_ranks = self.cluster.num_gpus
+
+        gpu_budget = int(server.gpus[0].memory_bytes * (1 - ANGEL_GPU_RESERVE_FRACTION))
+        working_set = self._gpu_working_set(trace)
+        if working_set > gpu_budget:
+            return CapacityReport(
+                "angel-ptm", False, "working set exceeds GPU memory",
+                0, 0, working_set, gpu_budget,
+            )
+
+        state_per_server = self._per_rank_state_bytes(trace) * ranks_per_server
+        if use_ssd and server.ssd is not None:
+            # FP32 optimizer states spill to SSD; CPU holds the FP16
+            # buffers of Algorithm 2 (params + grads).
+            optim = shard_bytes(trace.total_optim_bytes, num_ranks) * ranks_per_server
+            state_per_server -= optim
+            ssd_capacity = server.ssd.memory_bytes
+            if optim > ssd_capacity:
+                return CapacityReport(
+                    "angel-ptm+ssd", False, "optimizer states exceed SSD",
+                    optim, ssd_capacity, working_set, gpu_budget,
+                )
+        gpu_leftover = (gpu_budget - working_set) * ranks_per_server
+        capacity = int(
+            server.cpu.memory_bytes * ANGEL_CPU_USABLE_FRACTION + gpu_leftover
+        )
+        fits = state_per_server <= capacity
+        return CapacityReport(
+            "angel-ptm" + ("+ssd" if use_ssd else ""),
+            fits,
+            "ok" if fits else "model states exceed CPU+GPU capacity",
+            state_per_server, capacity, working_set, gpu_budget,
+        )
+
+    def deepspeed_fits(
+        self, config: ModelConfig, micro_batch: int = 1, seq_len: int = 2048
+    ) -> CapacityReport:
+        from repro.baselines.deepspeed_like import DeepSpeedEngine
+
+        engine = DeepSpeedEngine(self.cluster, cost_model=self.cost)
+        trace = self._trace(config, micro_batch, seq_len)
+        check = engine.check_capacity(trace)
+        return CapacityReport(
+            "deepspeed", check.fits, check.reason,
+            check.cpu_needed, check.cpu_usable, check.gpu_needed, check.gpu_usable,
+        )
+
+    # ------------------------------------------------------------------
+    # Searches
+    # ------------------------------------------------------------------
+    def max_layers(
+        self,
+        base: ModelConfig,
+        system: str,
+        micro_batch: int = 1,
+        seq_len: int = 2048,
+        use_ssd: bool = False,
+        upper: int = 512,
+    ) -> int:
+        """Largest layer count of ``base``'s architecture that fits."""
+        def fits(num_layers: int) -> bool:
+            candidate = base.with_layers(num_layers)
+            if system == "angel-ptm":
+                return self.angel_fits(candidate, micro_batch, seq_len, use_ssd).fits
+            if system == "deepspeed":
+                return self.deepspeed_fits(candidate, micro_batch, seq_len).fits
+            raise ValueError(f"unknown system {system!r}")
+
+        if not fits(1):
+            raise OutOfMemoryError(system, 0, 0)
+        low, high = 1, 1
+        while high < upper and fits(high * 2):
+            low = high * 2
+            high = low
+        high = min(upper, high * 2)
+        while low < high:
+            mid = (low + high + 1) // 2
+            if fits(mid):
+                low = mid
+            else:
+                high = mid - 1
+        return low
+
+    def max_micro_batch(
+        self,
+        config: ModelConfig,
+        system: str,
+        seq_len: int = 2048,
+        upper: int = 256,
+        use_ssd: bool = False,
+    ) -> int:
+        """Largest per-GPU micro-batch that fits (Table 5's #Batch)."""
+        def fits(micro_batch: int) -> bool:
+            if system == "angel-ptm":
+                return self.angel_fits(config, micro_batch, seq_len, use_ssd).fits
+            if system == "deepspeed":
+                return self.deepspeed_fits(config, micro_batch, seq_len).fits
+            raise ValueError(f"unknown system {system!r}")
+
+        if not fits(1):
+            raise OutOfMemoryError(system, 0, 0)
+        low, high = 1, 1
+        while high < upper and fits(high * 2):
+            low = high * 2
+            high = low
+        high = min(upper, high * 2)
+        while low < high:
+            mid = (low + high + 1) // 2
+            if fits(mid):
+                low = mid
+            else:
+                high = mid - 1
+        return low

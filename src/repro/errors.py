@@ -1,0 +1,67 @@
+"""Exception hierarchy for the Angel-PTM reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries while tests assert on precise subtypes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class OutOfMemoryError(ReproError):
+    """A device pool could not satisfy an allocation request.
+
+    Mirrors the OOM condition Algorithm 1 of the paper schedules around.
+    """
+
+    def __init__(self, device: str, requested_bytes: int, available_bytes: int):
+        self.device = device
+        self.requested_bytes = requested_bytes
+        self.available_bytes = available_bytes
+        super().__init__(
+            f"out of memory on {device}: requested {requested_bytes} bytes, "
+            f"only {available_bytes} available"
+        )
+
+
+class AllocationError(ReproError):
+    """A page- or tensor-level allocation violated an invariant."""
+
+
+class PageStateError(ReproError):
+    """A page was used in a way its current state does not permit."""
+
+
+class TensorStateError(ReproError):
+    """A managed tensor was used while not resident / not materialized."""
+
+
+class SchedulingError(ReproError):
+    """The unified scheduler could not produce or execute a valid schedule."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class CommunicationError(ReproError):
+    """A collective operation was invoked with mismatched participants."""
+
+
+class ShardingError(ReproError):
+    """Parameter sharding (ZeRO-3 style) was configured inconsistently."""
+
+
+class GradientError(ReproError):
+    """Backward pass produced or consumed an invalid gradient."""
+
+
+class CheckpointError(ReproError):
+    """Saving or restoring training state failed."""

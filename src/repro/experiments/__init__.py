@@ -1,0 +1,39 @@
+"""Experiment harnesses: one module per table and figure of the paper.
+
+Each module exposes ``run(...)`` returning structured results and a
+``format_report(results)`` producing the same rows/series the paper
+reports. The ``benchmarks/`` suite drives these under pytest-benchmark;
+EXPERIMENTS.md records paper-vs-measured for every entry.
+"""
+
+from repro.experiments import (
+    table1,
+    table2,
+    table5,
+    table6,
+    figure7,
+    figure8,
+    figure9,
+    idle_analysis,
+    staleness_sweep,
+    ablation_allocators,
+    ablation_granularity,
+    ablation_page_size,
+    ablation_scheduler,
+)
+
+__all__ = [
+    "table1",
+    "table2",
+    "table5",
+    "table6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "idle_analysis",
+    "staleness_sweep",
+    "ablation_allocators",
+    "ablation_granularity",
+    "ablation_page_size",
+    "ablation_scheduler",
+]

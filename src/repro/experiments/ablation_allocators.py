@@ -1,0 +1,142 @@
+"""Allocator ablation: page-based vs BFC vs caching vs chunk management.
+
+Section 4.1 claims coarse memory management (PyTorch's caching allocator
+as used by DeepSpeed, PatrickStar's chunks) fragments under the mixed
+tensor sizes of Transformer training, while the 4 MiB Page keeps waste to
+page-tail slack. This harness replays a training-churn allocation trace —
+repeated iterations of parameter/gradient/activation allocate-release with
+the non-uniform sizes of Table 2 — through all four managers and reports
+``peak reserved / peak live`` (1.0 is a perfect allocator).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import Report
+from repro.hardware.device import DeviceKind
+from repro.memory.bfc import BfcAllocator
+from repro.memory.caching import CachingAllocator
+from repro.memory.chunk import ChunkAllocator
+from repro.memory.fragmentation import FragmentationStats, TraceEvent, replay
+from repro.memory.allocator import PageAllocator
+from repro.memory.pool import DevicePool
+from repro.models.transformer import transformer_layer
+from repro.units import MiB
+
+
+class PagedTraceAllocator:
+    """Adapter exposing the page allocator under the trace interface."""
+
+    def __init__(self, capacity_bytes: int, page_bytes: int = 4 * MiB):
+        self._pool = DevicePool(
+            DeviceKind.CPU, capacity_bytes, page_bytes, backend="null"
+        )
+        self._alloc = PageAllocator({DeviceKind.CPU: self._pool})
+        self._live: dict[int, object] = {}
+        self.capacity_bytes = self._pool.capacity_bytes
+
+    @property
+    def reserved_bytes(self) -> int:
+        return self._pool.used_bytes
+
+    def alloc(self, req_id: int, nbytes: int) -> None:
+        tensor = self._alloc.allocate((nbytes,), np.uint8, DeviceKind.CPU)
+        self._live[req_id] = tensor
+
+    def free(self, req_id: int) -> None:
+        self._alloc.release(self._live.pop(req_id))
+
+
+def training_churn_trace(
+    num_iterations: int = 6,
+    d_model: int = 2048,
+    d_ffn: int = 8192,
+    batch_size: int = 4,
+    seq_len: int = 1024,
+    num_layers: int = 4,
+) -> list[TraceEvent]:
+    """Allocation churn of hierarchical-memory training.
+
+    Each iteration: per layer, allocate the gathered FP16 parameters and
+    the activations during forward; during backward allocate gradients,
+    release activations and gathered parameters layer by layer; then
+    allocate/release per-layer FP32 state staging buffers (the offload
+    churn that fragments coarse allocators).
+    """
+    layer = transformer_layer(d_model, d_ffn, batch_size, seq_len)
+    param_sizes = [p.bytes_single for p in layer.params]
+    act_sizes = [a.bytes_single for a in layer.activations]
+    optim_sizes = [o.bytes_single * o.multiplicity for o in layer.optim_states]
+    ids = itertools.count()
+    events: list[TraceEvent] = []
+    for _ in range(num_iterations):
+        live_params: list[list[int]] = []
+        live_acts: list[list[int]] = []
+        for _layer in range(num_layers):
+            param_ids = [next(ids) for _ in param_sizes]
+            act_ids = [next(ids) for _ in act_sizes]
+            events += [TraceEvent.alloc(i, s) for i, s in zip(param_ids, param_sizes)]
+            events += [TraceEvent.alloc(i, s) for i, s in zip(act_ids, act_sizes)]
+            live_params.append(param_ids)
+            live_acts.append(act_ids)
+        for _layer in reversed(range(num_layers)):
+            grad_ids = [next(ids) for _ in param_sizes]
+            events += [TraceEvent.alloc(i, s) for i, s in zip(grad_ids, param_sizes)]
+            events += [TraceEvent.free(i) for i in live_acts[_layer]]
+            events += [TraceEvent.free(i) for i in live_params[_layer]]
+            # Staging buffer for the FP32 state of this layer, then the
+            # gradients leave with it.
+            stage_ids = [next(ids) for _ in optim_sizes]
+            events += [TraceEvent.alloc(i, s) for i, s in zip(stage_ids, optim_sizes)]
+            events += [TraceEvent.free(i) for i in grad_ids]
+            events += [TraceEvent.free(i) for i in stage_ids]
+    return events
+
+
+@dataclass(frozen=True)
+class AllocatorAblationResult:
+    stats: dict[str, FragmentationStats]
+
+    def overhead(self, name: str) -> float:
+        return self.stats[name].overhead_ratio
+
+
+def run(capacity_bytes: int = 8 * 1024 * MiB, **trace_kwargs) -> AllocatorAblationResult:
+    trace = training_churn_trace(**trace_kwargs)
+    largest = max(e.nbytes for e in trace if e.op == "alloc")
+    allocators = {
+        "page-4MiB": PagedTraceAllocator(capacity_bytes),
+        "bfc": BfcAllocator(capacity_bytes),
+        "caching": CachingAllocator(capacity_bytes),
+        "chunk": ChunkAllocator(capacity_bytes, chunk_bytes=2 * largest),
+    }
+    stats = {name: replay(alloc, trace) for name, alloc in allocators.items()}
+    return AllocatorAblationResult(stats=stats)
+
+
+def format_report(result: AllocatorAblationResult) -> str:
+    report = Report(
+        title="Ablation — allocator overhead under training churn (Section 4.1)",
+        columns=["allocator", "peak reserved", "peak live", "overhead",
+                 "failed"],
+    )
+    for name, stats in sorted(result.stats.items()):
+        report.add_row(
+            name,
+            f"{stats.peak_reserved_bytes / MiB:.0f}MiB",
+            f"{stats.peak_live_bytes / MiB:.0f}MiB",
+            f"{stats.overhead_ratio:.3f}x",
+            "-" if stats.failed_at is None else f"event {stats.failed_at}",
+        )
+    report.add_note("page-based management should sit closest to 1.0x; "
+                    "chunk and caching allocators carry the fragmentation "
+                    "the paper attributes to PatrickStar and DeepSpeed")
+    return report.render()
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

@@ -1,0 +1,115 @@
+"""Page-size ablation: Section 4.1's "Optimal Page Size" argument.
+
+"If the Page size is too large, there will be a large number of tensors
+coexisting in the page ... resulting in wasted space. If the Page size is
+too small, there will be increased overhead associated with data movement
+because of the under-utilized bandwidth. Therefore ... the minimum Page
+size that can fully utilize the PCIe bandwidth is optimal, i.e., 4MB."
+
+The sweep measures, per candidate page size:
+
+- **bandwidth efficiency**: fraction of raw PCIe bandwidth achieved when
+  a model layer's states move page by page (per-page setup latency eats
+  small pages);
+- **capacity overhead**: peak-reserved / peak-live of the paged allocator
+  replaying a training-churn trace (page-tail slack eats large pages);
+- a combined **cost** (movement slowdown x capacity overhead) whose
+  minimum should sit at, or next to, the paper's 4 MiB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.ablation_allocators import PagedTraceAllocator, training_churn_trace
+from repro.experiments.common import Report
+from repro.hardware.server import a100_server
+from repro.memory.fragmentation import replay
+from repro.units import GiB, KiB, MiB
+
+PAGE_SIZES = (
+    256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB, 16 * MiB, 64 * MiB,
+)
+
+
+@dataclass(frozen=True)
+class PageSizePoint:
+    page_bytes: int
+    bandwidth_efficiency: float
+    capacity_overhead: float
+
+    @property
+    def cost(self) -> float:
+        """Movement slowdown x capacity overhead (1.0 is ideal)."""
+        return self.capacity_overhead / self.bandwidth_efficiency
+
+
+@dataclass(frozen=True)
+class PageSizeResult:
+    points: list[PageSizePoint]
+
+    def best(self) -> PageSizePoint:
+        return min(self.points, key=lambda p: p.cost)
+
+    def of(self, page_bytes: int) -> PageSizePoint:
+        for point in self.points:
+            if point.page_bytes == page_bytes:
+                return point
+        raise KeyError(page_bytes)
+
+
+def _bandwidth_efficiency(page_bytes: int, payload_bytes: int) -> float:
+    """Raw-PCIe fraction achieved moving ``payload_bytes`` in pages."""
+    pcie = a100_server().pcie
+    num_pages = -(-payload_bytes // page_bytes)
+    actual = sum(
+        pcie.transfer_time(min(page_bytes, payload_bytes - i * page_bytes))
+        for i in range(num_pages)
+    )
+    ideal = payload_bytes / pcie.bandwidth
+    return ideal / actual
+
+
+def run(
+    page_sizes: tuple[int, ...] = PAGE_SIZES,
+    payload_bytes: int = 1 * GiB,
+) -> PageSizeResult:
+    trace = training_churn_trace()
+    points = []
+    for page_bytes in page_sizes:
+        stats = replay(
+            PagedTraceAllocator(16 * 1024 * MiB, page_bytes=page_bytes), trace
+        )
+        points.append(
+            PageSizePoint(
+                page_bytes=page_bytes,
+                bandwidth_efficiency=_bandwidth_efficiency(page_bytes, payload_bytes),
+                capacity_overhead=stats.overhead_ratio,
+            )
+        )
+    return PageSizeResult(points=points)
+
+
+def format_report(result: PageSizeResult) -> str:
+    report = Report(
+        title="Ablation — optimal page size (Section 4.1)",
+        columns=["page size", "PCIe efficiency", "capacity overhead", "cost"],
+    )
+    best = result.best()
+    for point in result.points:
+        marker = "  <- best" if point is best else ""
+        report.add_row(
+            f"{point.page_bytes // KiB}KiB"
+            if point.page_bytes < MiB
+            else f"{point.page_bytes // MiB}MiB",
+            f"{point.bandwidth_efficiency:.3f}",
+            f"{point.capacity_overhead:.3f}x",
+            f"{point.cost:.3f}{marker}",
+        )
+    report.add_note("paper: 4MB is 'the minimum Page size that can fully "
+                    "utilize the PCIe bandwidth'")
+    return report.render()
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

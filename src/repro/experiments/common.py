@@ -1,0 +1,44 @@
+"""Shared helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Report:
+    """A printable table: title, column headers, rows of cells."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells):
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        lines = [self.title, "=" * len(self.title), fmt(self.columns)]
+        lines.append("-" * len(lines[-1]))
+        lines += [fmt(row) for row in self.rows]
+        lines += [f"  note: {n}" for n in self.notes]
+        return "\n".join(lines)
+
+
+def ratio_str(value: float) -> str:
+    return f"{value:.2f}x"
+
+
+def pct_str(value: float) -> str:
+    return f"{100 * value:.1f}%"

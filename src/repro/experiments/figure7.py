@@ -1,0 +1,147 @@
+"""Figure 7: normalized throughput of Angel-PTM vs DeepSpeed vs Megatron.
+
+GPT models from 1.7B to 120B on one server (1x8 GPUs) and four servers
+(4x8 GPUs), each system at its own maximum batch size, throughput
+normalized to DeepSpeed's. Paper shapes to reproduce:
+
+- 1.7B on 1x8: Megatron (vanilla DP) is fastest; Angel-PTM trails it by a
+  few percent (management overhead) and both beat DeepSpeed.
+- 30B on 1x8: Megatron OOMs; Angel-PTM beats DeepSpeed via life-time
+  scheduling.
+- 4x8: Megatron supports 30B, DeepSpeed and Angel-PTM support 120B, and
+  Angel-PTM stays fastest (averages ~35% over DeepSpeed, ~39% over
+  Megatron in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.deepspeed_like import DeepSpeedEngine
+from repro.baselines.megatron_like import MegatronEngine
+from repro.engine.planner import CapacityPlanner
+from repro.errors import OutOfMemoryError
+from repro.experiments.common import Report
+from repro.hardware.cluster import a100_cluster
+from repro.models.zoo import get_model
+from repro.scheduler.unified import UnifiedScheduler
+
+MODELS = ("gpt3-1.7b", "gpt3-13b", "gpt3-30b", "gpt3-120b")
+SYSTEMS = ("megatron", "deepspeed", "angel-ptm")
+
+#: Models per setting: one server cannot hold 120B under any system
+#: (Angel's single-server max is ~57B, Table 5), so the 1x8 panel covers
+#: 1.7B-30B as in the paper's narrative.
+MODELS_BY_SERVERS = {1: MODELS[:3], 4: MODELS}
+
+#: Table 4's 30B row lists 64 layers at d_m=8192/d_ffn=32768, which
+#: computes to ~51B transformer parameters; we calibrate the depth so the
+#: computed size matches the 30B label the throughput plot uses.
+LAYER_OVERRIDES = {"gpt3-30b": 37}
+
+
+@dataclass(frozen=True)
+class ThroughputCell:
+    model: str
+    system: str
+    num_servers: int
+    samples_per_second: float | None  # None = OOM
+    micro_batch: int
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    cells: list[ThroughputCell]
+
+    def get(self, model: str, system: str, num_servers: int) -> ThroughputCell:
+        for cell in self.cells:
+            if (cell.model, cell.system, cell.num_servers) == (model, system, num_servers):
+                return cell
+        raise KeyError((model, system, num_servers))
+
+    def normalized(self, model: str, system: str, num_servers: int) -> float | None:
+        """Throughput normalized to DeepSpeed's (the paper's y-axis)."""
+        baseline = self.get(model, "deepspeed", num_servers).samples_per_second
+        value = self.get(model, system, num_servers).samples_per_second
+        if value is None or baseline is None:
+            return None
+        return value / baseline
+
+
+def _measure(system: str, cluster, planner: CapacityPlanner, config) -> ThroughputCell:
+    try:
+        if system == "megatron":
+            best = MegatronEngine(cluster).best_strategy(config)
+            return ThroughputCell(
+                config.name, system, cluster.num_servers,
+                best.samples_per_second, best.micro_batch,
+            )
+        if system == "deepspeed":
+            batch = planner.max_micro_batch(config, "deepspeed")
+            result = DeepSpeedEngine(cluster).simulate(config, batch)
+            return ThroughputCell(
+                config.name, system, cluster.num_servers,
+                result.samples_per_second, batch,
+            )
+        batch = planner.max_micro_batch(config, "angel-ptm")
+        result = UnifiedScheduler(cluster).simulate(config, batch)
+        return ThroughputCell(
+            config.name, system, cluster.num_servers,
+            result.samples_per_second, batch,
+        )
+    except OutOfMemoryError:
+        return ThroughputCell(config.name, system, cluster.num_servers, None, 0)
+
+
+def run(
+    models: tuple[str, ...] | None = None,
+    server_counts: tuple[int, ...] = (1, 4),
+) -> Figure7Result:
+    cells: list[ThroughputCell] = []
+    for num_servers in server_counts:
+        cluster = a100_cluster(num_servers)
+        planner = CapacityPlanner(cluster)
+        selected = models or MODELS_BY_SERVERS.get(num_servers, MODELS)
+        for model_name in selected:
+            config = get_model(model_name)
+            if model_name in LAYER_OVERRIDES:
+                config = config.with_layers(LAYER_OVERRIDES[model_name])
+            for system in SYSTEMS:
+                cell = _measure(system, cluster, planner, config)
+                # Report under the zoo name so panels line up.
+                cells.append(
+                    ThroughputCell(
+                        model_name, cell.system, cell.num_servers,
+                        cell.samples_per_second, cell.micro_batch,
+                    )
+                )
+    return Figure7Result(cells=cells)
+
+
+def format_report(result: Figure7Result) -> str:
+    report = Report(
+        title="Figure 7 — throughput normalized to DeepSpeed",
+        columns=["setting", "model", "megatron", "deepspeed", "angel-ptm",
+                 "batches (mt/ds/ag)"],
+    )
+    for num_servers in sorted({c.num_servers for c in result.cells}):
+        for model in MODELS:
+            if not any(c.model == model and c.num_servers == num_servers
+                       for c in result.cells):
+                continue
+            row = [f"{num_servers}x8", model]
+            batches = []
+            for system in SYSTEMS:
+                cell = result.get(model, system, num_servers)
+                norm = result.normalized(model, system, num_servers)
+                row.append("OOM" if norm is None else f"{norm:.2f}")
+                batches.append(str(cell.micro_batch) if cell.samples_per_second else "-")
+            row.append("/".join(batches))
+            report.add_row(*row)
+    report.add_note("paper: Angel-PTM averages +35.4% over DeepSpeed and "
+                    "+38.9% over Megatron; Megatron wins only on 1.7B/1x8")
+    return report.render()
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

@@ -1,0 +1,83 @@
+"""Table 1: per-layer memory footprints under mixed precision + Adam.
+
+Evaluates the tensor inventory of one Transformer layer and checks it
+against the paper's closed-form totals (Params = 16 d_m^2 + 8 d_m d_ffn,
+Acts = 40 b s d_m + 8 b s d_ffn, Optims = 48 d_m^2 + 24 d_m d_ffn), plus
+the Section 2.2 GPT3-175B totals (648 / 162 / 1944 GiB over 96 layers with
+b=1, s=2048, d_m=12288, d_ffn=49152).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import Report
+from repro.models.footprint import closed_form_layer_bytes, layer_footprint
+from repro.models.transformer import transformer_layer
+from repro.units import GiB
+
+
+#: The Section 2.2 GPT3-175B accounting configuration.
+GPT3_175B_SECTION22 = {"d_model": 12288, "d_ffn": 49152, "batch_size": 1,
+                       "seq_len": 2048, "num_layers": 96}
+
+#: Paper-reported totals in GiB.
+PAPER_TOTALS_GIB = {"params": 648.0, "acts": 162.0, "optims": 1944.0}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    params_bytes: int
+    acts_bytes: int
+    optims_bytes: int
+    closed_params: int
+    closed_acts: int
+    closed_optims: int
+    model_params_gib: float
+    model_acts_gib: float
+    model_optims_gib: float
+
+
+def run(
+    d_model: int = GPT3_175B_SECTION22["d_model"],
+    d_ffn: int = GPT3_175B_SECTION22["d_ffn"],
+    batch_size: int = GPT3_175B_SECTION22["batch_size"],
+    seq_len: int = GPT3_175B_SECTION22["seq_len"],
+    num_layers: int = GPT3_175B_SECTION22["num_layers"],
+) -> Table1Result:
+    layer = transformer_layer(d_model, d_ffn, batch_size, seq_len)
+    exact = layer_footprint(layer)
+    closed = closed_form_layer_bytes(d_model, d_ffn, batch_size, seq_len)
+    return Table1Result(
+        params_bytes=exact.params_bytes,
+        acts_bytes=exact.acts_bytes,
+        optims_bytes=exact.optims_bytes,
+        closed_params=closed.params_bytes,
+        closed_acts=closed.acts_bytes,
+        closed_optims=closed.optims_bytes,
+        model_params_gib=num_layers * exact.params_bytes / GiB,
+        model_acts_gib=num_layers * exact.acts_bytes / GiB,
+        model_optims_gib=num_layers * exact.optims_bytes / GiB,
+    )
+
+
+def format_report(result: Table1Result) -> str:
+    report = Report(
+        title="Table 1 — per-layer footprints (GPT3-175B accounting config)",
+        columns=["quantity", "inventory (bytes)", "closed form (bytes)",
+                 "model total (GiB)", "paper (GiB)"],
+    )
+    report.add_row("Params", result.params_bytes, result.closed_params,
+                   f"{result.model_params_gib:.1f}", PAPER_TOTALS_GIB["params"])
+    report.add_row("Acts", result.acts_bytes, result.closed_acts,
+                   f"{result.model_acts_gib:.1f}", PAPER_TOTALS_GIB["acts"])
+    report.add_row("Optims", result.optims_bytes, result.closed_optims,
+                   f"{result.model_optims_gib:.1f}", PAPER_TOTALS_GIB["optims"])
+    report.add_note(
+        "closed form ignores LayerNorm and score tensors, as the paper does"
+    )
+    return report.render()
+
+
+if __name__ == "__main__":
+    print(format_report(run()))

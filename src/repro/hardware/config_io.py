@@ -1,0 +1,100 @@
+"""Serialization of hardware specs to/from JSON.
+
+A downstream operator describes their cluster once — GPU count and memory,
+DDR capacity, link bandwidths, SSD size — and every planner, simulator and
+CLI command consumes the same file. The schema mirrors
+:func:`~repro.hardware.server.a100_server`'s parameters, so Table 3 is the
+default when a field is omitted.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.server import ServerSpec, a100_server
+from repro.units import GB, GiB, TB
+
+#: JSON fields accepted under "server", mapped to a100_server kwargs and
+#: the unit each human-friendly field uses.
+_SERVER_FIELDS = {
+    "name": ("name", None),
+    "num_gpus": ("num_gpus", None),
+    "gpu_memory_gib": ("gpu_memory_bytes", GiB),
+    "cpu_memory_gib": ("cpu_memory_bytes", GiB),
+    "ssd_tb": ("ssd_bytes", TB),
+    "pcie_gbps": ("pcie_bandwidth", GB),
+    "nvlink_gbps": ("nvlink_bandwidth", GB),
+    "ssd_gbps": ("ssd_bandwidth", GB),
+    "nic_gbps": ("nic_bandwidth", GB),
+    "gpu_tflops": ("gpu_flops", 1e12),
+}
+
+
+def cluster_from_dict(config: dict) -> ClusterSpec:
+    """Build a cluster from a parsed JSON object."""
+    if not isinstance(config, dict):
+        raise ConfigurationError("cluster config must be a JSON object")
+    num_servers = config.get("num_servers", 1)
+    server_config = config.get("server", {})
+    unknown = set(server_config) - set(_SERVER_FIELDS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown server fields: {sorted(unknown)}; "
+            f"known: {sorted(_SERVER_FIELDS)}"
+        )
+    kwargs = {}
+    for field, value in server_config.items():
+        name, unit = _SERVER_FIELDS[field]
+        if unit is None or value is None:
+            kwargs[name] = value
+        else:
+            kwargs[name] = value * unit
+    if isinstance(kwargs.get("gpu_memory_bytes"), float):
+        kwargs["gpu_memory_bytes"] = int(kwargs["gpu_memory_bytes"])
+    if isinstance(kwargs.get("cpu_memory_bytes"), float):
+        kwargs["cpu_memory_bytes"] = int(kwargs["cpu_memory_bytes"])
+    if isinstance(kwargs.get("ssd_bytes"), float):
+        kwargs["ssd_bytes"] = int(kwargs["ssd_bytes"])
+    return ClusterSpec(server=a100_server(**kwargs), num_servers=num_servers)
+
+
+def cluster_to_dict(cluster: ClusterSpec) -> dict:
+    """Serialize a cluster back to the JSON schema."""
+    server = cluster.server
+    config = {
+        "num_servers": cluster.num_servers,
+        "server": {
+            "name": server.name,
+            "num_gpus": server.num_gpus,
+            "gpu_memory_gib": server.gpus[0].memory_bytes / GiB,
+            "cpu_memory_gib": server.cpu.memory_bytes / GiB,
+            "pcie_gbps": server.pcie.bandwidth / GB,
+            "nvlink_gbps": server.nvlink.bandwidth / GB,
+            "nic_gbps": server.nic.bandwidth / GB,
+            "gpu_tflops": server.gpus[0].compute_flops / 1e12,
+        },
+    }
+    if server.ssd is not None:
+        config["server"]["ssd_tb"] = server.ssd.memory_bytes / TB
+        config["server"]["ssd_gbps"] = server.ssd_io.bandwidth / GB
+    else:
+        config["server"]["ssd_tb"] = None
+    return config
+
+
+def load_cluster(path: str) -> ClusterSpec:
+    """Read a cluster description from a JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            config = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read cluster config {path!r}: {exc}") from exc
+    return cluster_from_dict(config)
+
+
+def save_cluster(cluster: ClusterSpec, path: str) -> None:
+    """Write a cluster description to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(cluster_to_dict(cluster), handle, indent=2)

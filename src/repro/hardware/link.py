@@ -1,0 +1,58 @@
+"""Interconnect link specifications.
+
+Section 4.3 of the paper quotes the I/O speeds of a Tencent A100 server:
+GPU memory access 600 GB/s, CPU-GPU transfer over PCIe 32 GB/s, SSD-CPU
+transfer 3.5 GB/s. Section 4.2 additionally uses GPU-GPU NVLink bandwidth
+of 200 GB/s, and Section 6.1 gives 16 x 12.5 GB/s RoCE NICs between servers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class LinkKind(enum.Enum):
+    """Physical transport between two devices."""
+
+    HBM = "hbm"          # on-device GPU memory access
+    PCIE = "pcie"        # CPU <-> GPU
+    NVLINK = "nvlink"    # GPU <-> GPU within a server
+    SSD_IO = "ssd_io"    # CPU <-> SSD
+    NIC = "nic"          # server <-> server (RoCE)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point (or shared) transfer channel.
+
+    Attributes:
+        kind: transport type.
+        name: unique name within a topology.
+        bandwidth: sustained bytes/s in one direction.
+        latency: fixed per-transfer setup cost in seconds.
+        duplex: whether simultaneous transfers in both directions each get
+            full bandwidth (PCIe and NVLink are full-duplex; SSD I/O is not).
+    """
+
+    kind: LinkKind
+    name: str
+    bandwidth: float
+    latency: float = 0.0
+    duplex: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth must be positive")
+        if self.latency < 0:
+            raise ConfigurationError(f"{self.name}: latency must be >= 0")
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Time to move ``num_bytes`` across this link, including latency."""
+        if num_bytes < 0:
+            raise ConfigurationError("cannot transfer a negative byte count")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency + num_bytes / self.bandwidth

@@ -1,0 +1,23 @@
+"""Lock-Free Updating Mechanism (Section 4.3, Algorithm 2).
+
+Two CPU-side FP16 buffers (parameters and accumulated gradients) decouple
+GPU computation from the SSD-bound optimizer path. The GPU always reads the
+buffered parameters and deposits gradients; a buffering thread accumulates
+them; an updating thread sweeps the layers, folding whatever gradients have
+accumulated into each FP32 update and refreshing the buffered parameters.
+
+Two implementations are provided:
+
+- :class:`StalenessLoop` — a deterministic, single-threaded execution of
+  the same semantics with a fixed update interval (staleness ``k``);
+  ``k = 1`` is exactly synchronous training. Used by the Table 6
+  convergence experiment and the property tests.
+- :class:`LockFreeTrainer` — a genuinely threaded updating/buffering
+  implementation matching Algorithm 2's concurrency structure.
+"""
+
+from repro.lockfree.buffers import GradientBuffers
+from repro.lockfree.staleness import StalenessLoop, TrainLog
+from repro.lockfree.threaded import LockFreeTrainer
+
+__all__ = ["GradientBuffers", "StalenessLoop", "TrainLog", "LockFreeTrainer"]

@@ -1,0 +1,69 @@
+"""The CPU-side buffers of Algorithm 2.
+
+``g'16``: per-parameter accumulated FP16 gradients, deposited by the GPU
+and cleared by the updating thread after each sweep (lines 12, 15).
+``p'16`` is represented by the model parameters' own ``data`` arrays — the
+GPU reads buffered parameters directly, and the updater overwrites them
+with the FP16-rounded masters (line 13).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import GradientError
+from repro.nn.tensor import Tensor
+
+
+class GradientBuffers:
+    """Accumulated-gradient buffers with per-parameter locks."""
+
+    def __init__(self, params: list[Tensor]):
+        self._params = list(params)
+        self._buffers = [np.zeros_like(p.data) for p in self._params]
+        self._locks = [threading.Lock() for _ in self._params]
+        self._pending = [0] * len(self._params)
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def accumulate(self, index: int, grad: np.ndarray) -> None:
+        """Buffering thread, line 15: ``g'16 <- g'16 + g16``."""
+        if grad.shape != self._buffers[index].shape:
+            raise GradientError(
+                f"gradient shape {grad.shape} does not match buffer "
+                f"{self._buffers[index].shape}"
+            )
+        with self._locks[index]:
+            # FP16 rounding on the accumulated value mirrors the buffer's
+            # half-precision storage.
+            acc = self._buffers[index] + grad
+            self._buffers[index][...] = acc.astype(np.float16).astype(np.float32)
+            self._pending[index] += 1
+
+    def accumulate_all(self, params: list[Tensor]) -> None:
+        """Deposit every parameter's ``.grad`` (the GPU's offload step)."""
+        for index, param in enumerate(params):
+            if param.grad is not None:
+                self.accumulate(index, param.grad)
+
+    def drain(self, index: int) -> tuple[np.ndarray, int]:
+        """Updating thread, lines 5+12: take the accumulated gradient and
+        clear the buffer. Returns (gradient copy, iterations folded in)."""
+        with self._locks[index]:
+            grad = self._buffers[index].copy()
+            count = self._pending[index]
+            self._buffers[index][...] = 0.0
+            self._pending[index] = 0
+        return grad, count
+
+    def pending(self, index: int) -> int:
+        with self._locks[index]:
+            return self._pending[index]
+
+    @property
+    def has_uncleared(self) -> bool:
+        """Algorithm 2 line 2's loop condition."""
+        return any(self.pending(i) > 0 for i in range(len(self._buffers)))

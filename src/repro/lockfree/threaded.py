@@ -1,0 +1,91 @@
+"""Genuinely threaded lock-free training (Algorithm 2's structure).
+
+The GPU loop (main thread) computes forward/backward against the buffered
+parameters and deposits gradients; the updating thread sweeps the layers in
+reverse order, draining accumulated gradients and refreshing the buffered
+parameters, until training finishes and the buffers are clear. numpy
+releases the GIL inside kernels, so the two threads genuinely overlap.
+
+An optional per-sweep delay emulates the SSD I/O the updating thread pays
+in production (fetch + offload of the FP32 states, lines 4 and 7).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ConfigurationError
+from repro.lockfree.buffers import GradientBuffers
+from repro.lockfree.staleness import TrainLog
+from repro.nn.functional import cross_entropy
+from repro.nn.layers import Module
+from repro.nn.optim import MixedPrecisionAdam
+
+
+class LockFreeTrainer:
+    """Two-thread lock-free trainer."""
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: MixedPrecisionAdam,
+        mixed_precision: bool = True,
+        sweep_delay: float = 0.0,
+    ):
+        if sweep_delay < 0:
+            raise ConfigurationError("sweep_delay must be >= 0")
+        self.model = model
+        self.optimizer = optimizer
+        self.mixed_precision = mixed_precision
+        self.sweep_delay = sweep_delay
+        self._params = model.parameters()
+        self._buffers = GradientBuffers(self._params)
+        self._stop = threading.Event()
+        self._sweeps = 0
+
+    # ------------------------------------------------------------------
+    # Updating thread (Algorithm 2, lines 1-7)
+    # ------------------------------------------------------------------
+    def _update_loop(self) -> None:
+        while not self._stop.is_set() or self._buffers.has_uncleared:
+            if not self._buffers.has_uncleared:
+                time.sleep(1e-4)
+                continue
+            # Bias correction advances once per sweep, before any layer
+            # applies (Adam's t must be >= 1 when gradients are folded in).
+            self.optimizer.bump_step()
+            did_work = False
+            for index in reversed(range(len(self._params))):
+                grad, count = self._buffers.drain(index)
+                if count == 0:
+                    continue
+                did_work = True
+                refreshed = self.optimizer.apply_gradient(index, grad / count)
+                self._params[index].data[...] = refreshed
+            if did_work:
+                self._sweeps += 1
+                if self.sweep_delay:
+                    time.sleep(self.sweep_delay)  # emulated SSD I/O
+
+    # ------------------------------------------------------------------
+    # GPU loop (Algorithm 2, lines 17-24) — runs on the calling thread
+    # ------------------------------------------------------------------
+    def train(self, batches) -> TrainLog:
+        log = TrainLog()
+        updater = threading.Thread(target=self._update_loop, daemon=True)
+        updater.start()
+        try:
+            for batch in batches:
+                logits = self.model(batch.inputs, self.mixed_precision)
+                loss = cross_entropy(logits, batch.targets)
+                self.model.zero_grad()
+                loss.backward()
+                self._buffers.accumulate_all(self._params)
+                log.losses.append(loss.item())
+                log.iterations += 1
+        finally:
+            self._stop.set()
+            updater.join(timeout=30.0)
+        log.sweeps = self._sweeps
+        return log

@@ -1,0 +1,31 @@
+"""Page-based hierarchical memory management (Section 4.1 of the paper).
+
+The ``Page`` is the minimum unit of every memory operation — allocation,
+release, movement and communication. Device pools pre-allocate their
+capacity up front (as Angel-PTM's Allocator does, Section 5) and hand out
+fixed-size pages; tensors are composed of pages with at most two tensors
+sharing one page.
+
+Three baseline allocators used by the fragmentation ablation live here too:
+TensorFlow-style best-fit-with-coalescing (BFC), PatrickStar-style chunks,
+and a PyTorch-style caching allocator.
+"""
+
+from repro.memory.page import DEFAULT_PAGE_BYTES, Page, PageState
+from repro.memory.pool import DevicePool, FilePoolBackend, NullPoolBackend, RamPoolBackend
+from repro.memory.allocator import PageAllocator
+from repro.memory.tensor import PagedTensor
+from repro.memory.fragmentation import FragmentationStats
+
+__all__ = [
+    "DEFAULT_PAGE_BYTES",
+    "Page",
+    "PageState",
+    "DevicePool",
+    "RamPoolBackend",
+    "FilePoolBackend",
+    "NullPoolBackend",
+    "PageAllocator",
+    "PagedTensor",
+    "FragmentationStats",
+]

@@ -1,0 +1,223 @@
+"""Page-level allocator spanning the hierarchical memory tiers.
+
+Implements the placement policy of Section 4.1:
+
+- tensors smaller than one page occupy an individual page ("for
+  simplicity, considering that they only account for a very small fraction
+  of the overall memory usage");
+- larger tensors fill whole pages exclusively, and their sub-page *tail*
+  may share a page with exactly one other tensor's tail, preserving the
+  at-most-two-tensors-per-page invariant.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import AllocationError, TensorStateError
+from repro.hardware.device import DeviceKind
+from repro.memory.page import DEFAULT_PAGE_BYTES, Page
+from repro.memory.pool import DevicePool
+from repro.memory.tensor import PagedTensor
+
+
+class PageAllocator:
+    """Allocates, releases, moves and merges paged tensors across tiers."""
+
+    def __init__(self, pools: dict[DeviceKind, DevicePool]):
+        if not pools:
+            raise AllocationError("at least one device pool is required")
+        page_sizes = {pool.page_bytes for pool in pools.values()}
+        if len(page_sizes) != 1:
+            raise AllocationError("all pools must share one page size")
+        self._pools = dict(pools)
+        self.page_bytes = page_sizes.pop()
+        self._tensor_ids = itertools.count()
+        self._tensors: dict[int, PagedTensor] = {}
+        # Per-tier page with exactly one tail in it, available for sharing.
+        self._open_shared: dict[DeviceKind, Page | None] = {k: None for k in pools}
+        self.bytes_requested = 0
+
+    def pool(self, device: DeviceKind) -> DevicePool:
+        try:
+            return self._pools[device]
+        except KeyError:
+            raise AllocationError(f"no pool configured for {device.name}") from None
+
+    @property
+    def tensors(self) -> list[PagedTensor]:
+        return list(self._tensors.values())
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        shape: tuple[int, ...],
+        dtype,
+        device: DeviceKind = DeviceKind.CPU,
+        share_tail: bool = True,
+    ) -> PagedTensor:
+        """Create a tensor of ``shape``/``dtype`` resident on ``device``."""
+        tensor = PagedTensor(next(self._tensor_ids), shape, np.dtype(dtype), allocator=self)
+        if tensor.nbytes == 0:
+            raise AllocationError("cannot allocate a zero-sized tensor")
+        pool = self.pool(device)
+        full_pages, tail_bytes = divmod(tensor.nbytes, self.page_bytes)
+        if tensor.nbytes < self.page_bytes:
+            # Small tensors occupy an individual page (paper policy).
+            full_pages, tail_bytes = 0, tensor.nbytes
+            share_tail = False
+        try:
+            for _ in range(full_pages):
+                page = pool.acquire()
+                page.allocate(self.page_bytes, tensor.tensor_id)
+                tensor.page_list.append(page)
+            if tail_bytes:
+                tensor.page_list.append(
+                    self._place_tail(pool, device, tensor.tensor_id, tail_bytes, share_tail)
+                )
+        except Exception:
+            self._rollback(tensor)
+            raise
+        self._tensors[tensor.tensor_id] = tensor
+        self.bytes_requested += tensor.nbytes
+        return tensor
+
+    def _place_tail(
+        self,
+        pool: DevicePool,
+        device: DeviceKind,
+        tensor_id: int,
+        tail_bytes: int,
+        share_tail: bool,
+    ) -> Page:
+        if share_tail:
+            candidate = self._open_shared.get(device)
+            if (
+                candidate is not None
+                and candidate.has_storage
+                and candidate.pool is pool
+                and len(candidate.tensor_ids) == 1
+                and candidate.available_bytes >= tail_bytes
+            ):
+                candidate.allocate(tail_bytes, tensor_id)
+                self._open_shared[device] = None  # now holds two tensors
+                return candidate
+        page = pool.acquire()
+        page.allocate(tail_bytes, tensor_id)
+        if share_tail and page.available_bytes > 0:
+            self._open_shared[device] = page
+        return page
+
+    def _rollback(self, tensor: PagedTensor) -> None:
+        for page in tensor.page_list:
+            page.release(tensor.tensor_id)
+            if page.is_empty and page.has_storage:
+                self._forget_shared(page)
+                page.pool.release(page)
+        tensor.page_list.clear()
+
+    # ------------------------------------------------------------------
+    # Release / move / merge
+    # ------------------------------------------------------------------
+    def release(self, tensor: PagedTensor) -> None:
+        """Free the tensor's slots; empty pages return to their pools."""
+        if tensor.is_released:
+            raise TensorStateError(f"tensor {tensor.tensor_id} already released")
+        if tensor.tensor_id not in self._tensors:
+            raise TensorStateError(f"tensor {tensor.tensor_id} is not managed here")
+        for page in tensor.page_list:
+            page.release(tensor.tensor_id)
+            if page.is_empty and page.has_storage:
+                self._forget_shared(page)
+                page.pool.release(page)
+        tensor.page_list.clear()
+        tensor._released = True
+        del self._tensors[tensor.tensor_id]
+
+    def move(self, tensor: PagedTensor, device: DeviceKind) -> None:
+        """Move every page of ``tensor`` to ``device`` (co-tenants come too)."""
+        tensor._check_live()
+        target = self.pool(device)
+        for page in tensor.page_list:
+            if page.pool is not target:
+                self._forget_shared(page)
+                page.move(target)
+
+    def merge(self, tensor: PagedTensor) -> None:
+        """Re-pack into exclusive pages on the tensor's current device.
+
+        Implements Figure 4's ``merge``: after merging, the tensor's bytes
+        occupy pages it owns alone, in order, starting at offset zero.
+        """
+        tensor._check_live()
+        if tensor.is_contiguous:
+            return
+        device = tensor.device_kind
+        if device is None:
+            raise TensorStateError(
+                f"tensor {tensor.tensor_id} spans devices; move it first"
+            )
+        data = tensor.read_array()
+        old_pages = list(tensor.page_list)
+        tensor.page_list = []
+        pool = self.pool(device)
+        remaining = tensor.nbytes
+        try:
+            while remaining > 0:
+                chunk = min(remaining, self.page_bytes)
+                page = pool.acquire()
+                page.allocate(chunk, tensor.tensor_id)
+                tensor.page_list.append(page)
+                remaining -= chunk
+        except Exception:
+            self._rollback(tensor)
+            tensor.page_list = old_pages
+            raise
+        for page in old_pages:
+            page.release(tensor.tensor_id)
+            if page.is_empty and page.has_storage:
+                self._forget_shared(page)
+                page.pool.release(page)
+        tensor.write_array(data)
+
+    def _forget_shared(self, page: Page) -> None:
+        for device, candidate in self._open_shared.items():
+            if candidate is page:
+                self._open_shared[device] = None
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def used_bytes(self, device: DeviceKind) -> int:
+        return self.pool(device).used_bytes
+
+    def free_bytes(self, device: DeviceKind) -> int:
+        return self.pool(device).free_bytes
+
+    def internal_fragmentation(self, device: DeviceKind) -> float:
+        """Fraction of reserved page bytes not holding live tensor data."""
+        pool = self.pool(device)
+        if pool.used_bytes == 0:
+            return 0.0
+        live = sum(
+            nbytes
+            for tensor in self._tensors.values()
+            for page in tensor.page_list
+            if page.has_storage and page.pool is pool
+            for _, nbytes in [page.slot_of(tensor.tensor_id)]
+        )
+        return 1.0 - live / pool.used_bytes
+
+    def close(self) -> None:
+        for pool in self._pools.values():
+            pool.close()
+
+    def __enter__(self) -> "PageAllocator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

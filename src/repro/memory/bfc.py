@@ -1,0 +1,106 @@
+"""Best-fit-with-coalescing allocator (TensorFlow's BFC, Section 2.1).
+
+A byte arena managed with a sorted free list: allocation picks the smallest
+free block that fits (best fit), splitting the remainder; freeing coalesces
+with adjacent free blocks. This is the strongest tensor-level baseline —
+it still fragments under the mixed tensor sizes of Table 2 because blocks
+pinned by long-lived tensors break the arena into unusable gaps.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.errors import AllocationError, OutOfMemoryError
+
+
+@dataclass
+class _Block:
+    offset: int
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.nbytes
+
+
+class BfcAllocator:
+    """Best-fit allocator over a fixed arena of ``capacity_bytes``."""
+
+    def __init__(self, capacity_bytes: int, alignment: int = 256):
+        if capacity_bytes <= 0:
+            raise AllocationError("capacity must be positive")
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise AllocationError("alignment must be a positive power of two")
+        self.capacity_bytes = capacity_bytes
+        self.alignment = alignment
+        self._free: list[_Block] = [_Block(0, capacity_bytes)]  # sorted by offset
+        self._live: dict[int, _Block] = {}
+
+    @property
+    def reserved_bytes(self) -> int:
+        """BFC owns the whole arena up to the high-water mark of use."""
+        if not self._live:
+            return 0
+        return max(block.end for block in self._live.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(block.nbytes for block in self._free)
+
+    @property
+    def largest_free_block(self) -> int:
+        return max((block.nbytes for block in self._free), default=0)
+
+    def external_fragmentation(self) -> float:
+        """1 - largest free block / total free bytes (0 when unfragmented)."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_block / free
+
+    def _round(self, nbytes: int) -> int:
+        return (nbytes + self.alignment - 1) // self.alignment * self.alignment
+
+    def alloc(self, req_id: int, nbytes: int) -> int:
+        """Allocate ``nbytes`` for ``req_id``; returns the arena offset."""
+        if req_id in self._live:
+            raise AllocationError(f"request {req_id} already live")
+        if nbytes <= 0:
+            raise AllocationError("allocation size must be positive")
+        need = self._round(nbytes)
+        best_index = -1
+        for i, block in enumerate(self._free):
+            if block.nbytes >= need and (
+                best_index < 0 or block.nbytes < self._free[best_index].nbytes
+            ):
+                best_index = i
+        if best_index < 0:
+            raise OutOfMemoryError("bfc-arena", need, self.largest_free_block)
+        block = self._free[best_index]
+        taken = _Block(block.offset, need)
+        if block.nbytes == need:
+            del self._free[best_index]
+        else:
+            block.offset += need
+            block.nbytes -= need
+        self._live[req_id] = taken
+        return taken.offset
+
+    def free(self, req_id: int) -> None:
+        """Release ``req_id`` and coalesce with free neighbours."""
+        block = self._live.pop(req_id, None)
+        if block is None:
+            raise AllocationError(f"request {req_id} is not live")
+        offsets = [b.offset for b in self._free]
+        index = bisect.bisect_left(offsets, block.offset)
+        # Coalesce with the following block.
+        if index < len(self._free) and self._free[index].offset == block.end:
+            block.nbytes += self._free[index].nbytes
+            del self._free[index]
+        # Coalesce with the preceding block.
+        if index > 0 and self._free[index - 1].end == block.offset:
+            self._free[index - 1].nbytes += block.nbytes
+        else:
+            self._free.insert(index, block)

@@ -1,0 +1,100 @@
+"""Caching allocator modelling PyTorch's CUDA allocator (used by DeepSpeed).
+
+The paper's critique (Section 4.1): "DeepSpeed uses the original memory
+management of PyTorch for offloading and recomputing, which frequently
+allocates and releases tensors, leading to space fragments because the
+sizes of these tensors are not uniform."
+
+The model: freed blocks are cached per rounded size class and reused only
+for requests that fit in a cached block; cached blocks of different sizes
+are never coalesced, so mixed tensor sizes steadily inflate the reserved
+footprint — exactly the failure mode the Page design removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError, OutOfMemoryError
+
+
+@dataclass
+class _CachedBlock:
+    nbytes: int
+
+
+class CachingAllocator:
+    """Size-class caching without coalescing over a fixed capacity."""
+
+    #: PyTorch rounds small allocations to 512B and splits large blocks.
+    ROUNDING = 512
+    #: Blocks above this size may be split when reused (PyTorch: 1 MiB).
+    SPLIT_THRESHOLD = 1024 * 1024
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise AllocationError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._cached: list[_CachedBlock] = []
+        self._live: dict[int, int] = {}  # req_id -> block nbytes
+        self._reserved = 0
+
+    @property
+    def reserved_bytes(self) -> int:
+        return self._reserved
+
+    @property
+    def cached_bytes(self) -> int:
+        return sum(block.nbytes for block in self._cached)
+
+    def _round(self, nbytes: int) -> int:
+        return (nbytes + self.ROUNDING - 1) // self.ROUNDING * self.ROUNDING
+
+    def alloc(self, req_id: int, nbytes: int) -> None:
+        if req_id in self._live:
+            raise AllocationError(f"request {req_id} already live")
+        if nbytes <= 0:
+            raise AllocationError("allocation size must be positive")
+        need = self._round(nbytes)
+        block = self._take_cached(need)
+        if block is not None:
+            self._live[req_id] = block
+            return
+        if self._reserved + need > self.capacity_bytes:
+            # cudaMalloc failure path: release all cached blocks, retry once.
+            self._reserved -= self.cached_bytes
+            self._cached.clear()
+            if self._reserved + need > self.capacity_bytes:
+                raise OutOfMemoryError(
+                    "caching-arena", need, self.capacity_bytes - self._reserved
+                )
+        self._reserved += need
+        self._live[req_id] = need
+
+    def _take_cached(self, need: int) -> int | None:
+        """Best-fit over cached blocks; split only large blocks."""
+        best = None
+        for block in self._cached:
+            if block.nbytes >= need and (best is None or block.nbytes < best.nbytes):
+                best = block
+        if best is None:
+            return None
+        self._cached.remove(best)
+        remainder = best.nbytes - need
+        if best.nbytes > self.SPLIT_THRESHOLD and remainder >= self.ROUNDING:
+            self._cached.append(_CachedBlock(remainder))
+            return need
+        # Small blocks are handed out whole: internal fragmentation.
+        return best.nbytes
+
+    def free(self, req_id: int) -> None:
+        nbytes = self._live.pop(req_id, None)
+        if nbytes is None:
+            raise AllocationError(f"request {req_id} is not live")
+        self._cached.append(_CachedBlock(nbytes))
+
+    def fragmentation(self) -> float:
+        """Fraction of reserved bytes sitting idle in the block cache."""
+        if self._reserved == 0:
+            return 0.0
+        return self.cached_bytes / self._reserved

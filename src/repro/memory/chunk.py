@@ -1,0 +1,104 @@
+"""Chunk-based allocator modelling PatrickStar (Section 4.1's critique).
+
+PatrickStar "manages GPU memory in chunks rather than tensors, where the
+chunk size must be larger than the largest tensor used in model training.
+This would also result in memory fragments within each chunk". We model
+that behaviour: tensors pack append-only into fixed chunks; freed space
+inside a chunk is only reclaimed when the whole chunk empties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError, OutOfMemoryError
+
+
+@dataclass
+class _Chunk:
+    index: int
+    nbytes: int
+    cursor: int = 0
+    live: dict[int, int] = field(default_factory=dict)  # req_id -> nbytes
+
+    @property
+    def tail_free(self) -> int:
+        return self.nbytes - self.cursor
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(self.live.values())
+
+
+class ChunkAllocator:
+    """Append-only packing into fixed chunks, whole-chunk reclamation."""
+
+    def __init__(self, capacity_bytes: int, chunk_bytes: int):
+        if chunk_bytes <= 0:
+            raise AllocationError("chunk size must be positive")
+        if capacity_bytes < chunk_bytes:
+            raise AllocationError("capacity smaller than one chunk")
+        self.capacity_bytes = capacity_bytes
+        self.chunk_bytes = chunk_bytes
+        self.max_chunks = capacity_bytes // chunk_bytes
+        self._chunks: list[_Chunk] = []
+        self._free_chunks: list[_Chunk] = []
+        self._location: dict[int, _Chunk] = {}
+
+    @property
+    def reserved_bytes(self) -> int:
+        return (len(self._chunks) - len(self._free_chunks)) * self.chunk_bytes
+
+    def alloc(self, req_id: int, nbytes: int) -> None:
+        if req_id in self._location:
+            raise AllocationError(f"request {req_id} already live")
+        if nbytes <= 0:
+            raise AllocationError("allocation size must be positive")
+        if nbytes > self.chunk_bytes:
+            raise AllocationError(
+                f"tensor of {nbytes} bytes exceeds chunk size {self.chunk_bytes}; "
+                "PatrickStar requires chunks larger than the largest tensor"
+            )
+        chunk = self._find_chunk(nbytes)
+        chunk.live[req_id] = nbytes
+        chunk.cursor += nbytes
+        self._location[req_id] = chunk
+
+    def _find_chunk(self, nbytes: int) -> _Chunk:
+        for chunk in self._chunks:
+            if chunk not in self._free_chunks and chunk.tail_free >= nbytes:
+                return chunk
+        if self._free_chunks:
+            chunk = self._free_chunks.pop()
+            chunk.cursor = 0
+            chunk.live.clear()
+            return chunk
+        if len(self._chunks) >= self.max_chunks:
+            raise OutOfMemoryError(
+                "chunk-arena",
+                nbytes,
+                max((c.tail_free for c in self._chunks), default=0),
+            )
+        chunk = _Chunk(index=len(self._chunks), nbytes=self.chunk_bytes)
+        self._chunks.append(chunk)
+        return chunk
+
+    def free(self, req_id: int) -> None:
+        chunk = self._location.pop(req_id, None)
+        if chunk is None:
+            raise AllocationError(f"request {req_id} is not live")
+        del chunk.live[req_id]
+        # Space inside the chunk is NOT reusable until the chunk empties —
+        # this is the intra-chunk fragmentation the paper criticizes.
+        if not chunk.live:
+            chunk.cursor = 0
+            self._free_chunks.append(chunk)
+
+    def intra_chunk_fragmentation(self) -> float:
+        """Fraction of occupied-chunk bytes holding no live tensor."""
+        occupied = [c for c in self._chunks if c not in self._free_chunks]
+        total = len(occupied) * self.chunk_bytes
+        if total == 0:
+            return 0.0
+        live = sum(c.live_bytes for c in occupied)
+        return 1.0 - live / total

@@ -1,0 +1,234 @@
+"""Per-device page pools with pluggable physical backends.
+
+Angel-PTM's Allocator "pre-allocate[s] space from the hierarchical memory of
+the system, including GPU memory, CPU pinned memory, and SSD memory" and
+divides it into fixed-size pages (Section 5). A :class:`DevicePool` does the
+same: capacity is reserved at construction, pages are acquired from and
+returned to a free list, and the backend decides where the bytes physically
+live:
+
+- :class:`RamPoolBackend` — numpy byte buffers (used for the simulated
+  "GPU" and the real CPU tier),
+- :class:`FilePoolBackend` — regions of a real file on disk (the SSD tier,
+  exercising genuine storage I/O),
+- :class:`NullPoolBackend` — capacity accounting only, for pure
+  discrete-event simulation at paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.errors import AllocationError, OutOfMemoryError, PageStateError
+from repro.hardware.device import DeviceKind
+from repro.memory.page import DEFAULT_PAGE_BYTES, Page
+
+
+class _Storage:
+    """Handle to one page-sized region owned by a pool."""
+
+    def __init__(self, pool: "DevicePool", index: int, nbytes: int):
+        self.pool = pool
+        self.index = index
+        self.nbytes = nbytes
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        self._check_range(offset, nbytes)
+        return self.pool._backend.read(self.index, offset, nbytes)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check_range(offset, len(data))
+        self.pool._backend.write(self.index, offset, data)
+
+    def _check_range(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
+            raise AllocationError(
+                f"access [{offset}, {offset + nbytes}) outside page of {self.nbytes} bytes"
+            )
+
+
+class RamPoolBackend:
+    """Physical pages held as numpy byte buffers in process memory."""
+
+    def __init__(self, num_pages: int, page_bytes: int):
+        self._buffers = [np.zeros(page_bytes, dtype=np.uint8) for _ in range(num_pages)]
+
+    def read(self, index: int, offset: int, nbytes: int) -> bytes:
+        return self._buffers[index][offset:offset + nbytes].tobytes()
+
+    def write(self, index: int, offset: int, data: bytes) -> None:
+        view = np.frombuffer(data, dtype=np.uint8)
+        self._buffers[index][offset:offset + len(data)] = view
+
+    def close(self) -> None:
+        self._buffers.clear()
+
+
+class FilePoolBackend:
+    """Physical pages stored as regions of one file on disk.
+
+    This is the reproduction's SSD tier: reads and writes hit the
+    filesystem for real, so SSD-path code is exercised end to end.
+    """
+
+    def __init__(self, num_pages: int, page_bytes: int, path: str | None = None):
+        self._page_bytes = page_bytes
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="repro-ssd-", suffix=".bin")
+            os.close(fd)
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self._path = path
+        with open(self._path, "wb") as f:
+            f.truncate(num_pages * page_bytes)
+        self._file = open(self._path, "r+b", buffering=0)
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def read(self, index: int, offset: int, nbytes: int) -> bytes:
+        self._file.seek(index * self._page_bytes + offset)
+        return self._file.read(nbytes)
+
+    def write(self, index: int, offset: int, data: bytes) -> None:
+        self._file.seek(index * self._page_bytes + offset)
+        self._file.write(data)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+        if self._owns_file and os.path.exists(self._path):
+            os.unlink(self._path)
+
+
+class NullPoolBackend:
+    """Capacity accounting only; reads return zeros, writes are dropped.
+
+    Lets the discrete-event experiments run the same allocator code at
+    175B/10T-parameter scale without materializing terabytes.
+    """
+
+    def __init__(self, num_pages: int, page_bytes: int):
+        del num_pages
+        self._page_bytes = page_bytes
+
+    def read(self, index: int, offset: int, nbytes: int) -> bytes:
+        del index, offset
+        return bytes(nbytes)
+
+    def write(self, index: int, offset: int, data: bytes) -> None:
+        del index, offset, data
+
+    def close(self) -> None:
+        pass
+
+
+class DevicePool:
+    """Pre-allocated page pool for one memory tier."""
+
+    def __init__(
+        self,
+        device_kind: DeviceKind,
+        capacity_bytes: int,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        backend: str = "ram",
+        file_path: str | None = None,
+        name: str | None = None,
+    ):
+        if capacity_bytes < page_bytes:
+            raise AllocationError("pool capacity smaller than one page")
+        self.device_kind = device_kind
+        self.page_bytes = page_bytes
+        self.num_pages = capacity_bytes // page_bytes
+        self.capacity_bytes = self.num_pages * page_bytes
+        self.name = name or f"{device_kind.name.lower()}-pool"
+        if backend == "ram":
+            self._backend = RamPoolBackend(self.num_pages, page_bytes)
+        elif backend == "file":
+            self._backend = FilePoolBackend(self.num_pages, page_bytes, path=file_path)
+        elif backend == "null":
+            self._backend = NullPoolBackend(self.num_pages, page_bytes)
+        else:
+            raise AllocationError(f"unknown pool backend {backend!r}")
+        self._free_indices: list[int] = list(range(self.num_pages))
+        self._in_use = 0
+        self.peak_in_use = 0
+
+    # ------------------------------------------------------------------
+    # Storage lifecycle (used by Page.move and by acquire/release below)
+    # ------------------------------------------------------------------
+    def acquire_storage(self, nbytes: int) -> _Storage:
+        if nbytes > self.page_bytes:
+            raise AllocationError(
+                f"{self.name}: page of {nbytes} bytes exceeds pool page size"
+            )
+        if not self._free_indices:
+            raise OutOfMemoryError(
+                device=self.name,
+                requested_bytes=self.page_bytes,
+                available_bytes=self.free_bytes,
+            )
+        index = self._free_indices.pop()
+        self._in_use += 1
+        self.peak_in_use = max(self.peak_in_use, self._in_use)
+        return _Storage(self, index, self.page_bytes)
+
+    def release_storage(self, storage: _Storage) -> None:
+        if storage.pool is not self:
+            raise PageStateError("storage released to the wrong pool")
+        if storage.index in self._free_indices:
+            raise PageStateError(f"double free of page index {storage.index}")
+        self._free_indices.append(storage.index)
+        self._in_use -= 1
+
+    # ------------------------------------------------------------------
+    # Page lifecycle
+    # ------------------------------------------------------------------
+    def acquire(self) -> Page:
+        """Take a fresh page resident in this pool."""
+        page = Page(total_bytes=self.page_bytes)
+        page._attach(self.acquire_storage(self.page_bytes))
+        return page
+
+    def release(self, page: Page) -> None:
+        """Return an *empty* page's storage to the free list."""
+        if not page.is_empty:
+            raise PageStateError(
+                f"page {page.page_id} still holds tensors {list(page.tensor_ids)}"
+            )
+        self.release_storage(page._detach())
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def pages_in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def used_bytes(self) -> int:
+        return self._in_use * self.page_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return len(self._free_indices) * self.page_bytes
+
+    def close(self) -> None:
+        self._backend.close()
+
+    def __enter__(self) -> "DevicePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DevicePool({self.name}, {self._in_use}/{self.num_pages} pages, "
+            f"page={self.page_bytes}B)"
+        )

@@ -1,0 +1,94 @@
+"""Mixture-of-Experts layers (T5-MoE / Switch-Transformer style).
+
+The paper trains T5-MoE with expert parallelism (Section 6.4): "expert
+parameters within an MoE layer are sharded among all GPUs while non-MoE
+parameters are duplicated", fixing 9 experts per GPU per MoE layer when
+scaling model size with the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.transformer import (
+    LayerSpec,
+    TensorKind,
+    TensorSpec,
+    transformer_layer,
+)
+
+
+@dataclass(frozen=True)
+class MoEConfig:
+    """Sizing of one MoE layer."""
+
+    d_model: int
+    d_ffn: int
+    num_experts: int
+    top_k: int = 1  # Switch-Transformer routes each token to one expert
+
+    def __post_init__(self) -> None:
+        if self.num_experts <= 0:
+            raise ConfigurationError("num_experts must be positive")
+        if not 1 <= self.top_k <= self.num_experts:
+            raise ConfigurationError("top_k must be in [1, num_experts]")
+
+    @property
+    def expert_param_count(self) -> int:
+        """Parameters of one expert FFN (two projection matrices)."""
+        return 2 * self.d_model * self.d_ffn
+
+    @property
+    def total_expert_params(self) -> int:
+        return self.expert_param_count * self.num_experts
+
+    def experts_on_gpu(self, num_gpus: int) -> int:
+        """Experts hosted per GPU under expert parallelism."""
+        if num_gpus <= 0:
+            raise ConfigurationError("num_gpus must be positive")
+        if self.num_experts % num_gpus:
+            raise ConfigurationError(
+                f"{self.num_experts} experts do not shard evenly over {num_gpus} GPUs"
+            )
+        return self.num_experts // num_gpus
+
+
+def moe_layer(
+    d_model: int,
+    d_ffn: int,
+    num_experts: int,
+    batch_size: int = 1,
+    seq_len: int = 2048,
+    name: str = "moe_layer",
+) -> LayerSpec:
+    """A Transformer layer whose FFN is replaced by ``num_experts`` experts.
+
+    The dense attention block is reused from :func:`transformer_layer`; the
+    FFN block becomes a router plus per-expert projection pairs. Activation
+    accounting assumes capacity-factor-1 routing: each token visits
+    ``top_k`` experts, so total routed activation volume matches the dense
+    layer's (the all-to-all moves it between GPUs but does not inflate it).
+    """
+    config = MoEConfig(d_model=d_model, d_ffn=d_ffn, num_experts=num_experts)
+    dense = transformer_layer(
+        d_model, d_ffn, batch_size=batch_size, seq_len=seq_len, name=name
+    )
+    params = [p for p in dense.params if not p.name.startswith(f"{name}.ffn.w")]
+    acts = list(dense.activations)
+    params.append(
+        TensorSpec(f"{name}.router", (d_model, num_experts), TensorKind.PARAM, "Router")
+    )
+    for e in range(num_experts):
+        params.append(
+            TensorSpec(f"{name}.expert{e}.w1", (d_model, d_ffn), TensorKind.PARAM, "Linear")
+        )
+        params.append(
+            TensorSpec(f"{name}.expert{e}.w2", (d_ffn, d_model), TensorKind.PARAM, "Linear")
+        )
+    return LayerSpec(
+        name=name,
+        params=tuple(params),
+        activations=tuple(acts),
+        num_experts=config.num_experts,
+    )

@@ -1,0 +1,218 @@
+"""Per-layer tensor inventory of a Transformer under mixed precision.
+
+Follows Section 2.2 and Table 1 of the paper exactly, including the paper's
+simplifications: attention scores are accounted as ``b x s`` ("shape: b x s"
+in the text, a deliberate per-head simplification), layer-norm parameters
+are tracked but ignored in block totals, and every byte count folds in the
+forward+backward factor of 2 for FP16 tensors and the
+master/momentum/variance factor of 3 for FP32 optimizer states.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+FP16 = 2  # bytes per element
+FP32 = 4
+
+
+class TensorKind(enum.Enum):
+    """Role of a tensor in the training memory budget (Section 2.1)."""
+
+    PARAM = "param"          # FP16 parameter (plus its FP16 gradient)
+    ACTIVATION = "activation"  # FP16 activation (plus its FP16 gradient)
+    OPTIM = "optim"          # FP32 master param + momentum + variance
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """One named tensor of a layer with its full training footprint.
+
+    ``bytes_total`` already includes the companion tensors the paper folds
+    in: x2 for forward+backward on FP16 tensors, x3 for the Adam states on
+    FP32 optimizer tensors.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    kind: TensorKind
+    op: str
+
+    @property
+    def numel(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+    @property
+    def element_bytes(self) -> int:
+        return FP32 if self.kind == TensorKind.OPTIM else FP16
+
+    @property
+    def multiplicity(self) -> int:
+        """Companion-tensor factor used by Table 1's byte formulas."""
+        if self.kind == TensorKind.OPTIM:
+            return 3  # master parameter, momentum, variance
+        return 2  # forward value + backward gradient
+
+    @property
+    def bytes_single(self) -> int:
+        """Bytes of one physical tensor (e.g. just the FP16 parameter)."""
+        return self.numel * self.element_bytes
+
+    @property
+    def bytes_total(self) -> int:
+        """Bytes including companions, matching Table 1's columns."""
+        return self.bytes_single * self.multiplicity
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One Transformer layer: parameters, activations, optimizer states."""
+
+    name: str
+    params: tuple[TensorSpec, ...]
+    activations: tuple[TensorSpec, ...]
+    num_experts: int = 0
+
+    def __post_init__(self) -> None:
+        for spec in self.params:
+            if spec.kind != TensorKind.PARAM:
+                raise ConfigurationError(f"{spec.name} is not a parameter spec")
+        for spec in self.activations:
+            if spec.kind != TensorKind.ACTIVATION:
+                raise ConfigurationError(f"{spec.name} is not an activation spec")
+
+    @property
+    def optim_states(self) -> tuple[TensorSpec, ...]:
+        """FP32 optimizer-state specs mirroring each parameter."""
+        return tuple(
+            TensorSpec(name=f"{p.name}.optim", shape=p.shape, kind=TensorKind.OPTIM, op=p.op)
+            for p in self.params
+        )
+
+    @property
+    def param_count(self) -> int:
+        return sum(p.numel for p in self.params)
+
+    @property
+    def params_bytes(self) -> int:
+        """Table 1 "Params." column: FP16 params + grads."""
+        return sum(p.bytes_total for p in self.params)
+
+    @property
+    def acts_bytes(self) -> int:
+        """Table 1 "Acts." column: FP16 activations + their grads."""
+        return sum(a.bytes_total for a in self.activations)
+
+    @property
+    def optims_bytes(self) -> int:
+        """Table 1 "Optims." column: FP32 master/momentum/variance."""
+        return sum(o.bytes_total for o in self.optim_states)
+
+    @property
+    def model_state_bytes(self) -> int:
+        """Paper's "model states": parameters plus optimizer states."""
+        return self.params_bytes + self.optims_bytes
+
+
+def transformer_layer(
+    d_model: int,
+    d_ffn: int,
+    batch_size: int = 1,
+    seq_len: int = 2048,
+    name: str = "layer",
+    cross_attention: bool = False,
+) -> LayerSpec:
+    """Build the Table 1 layer: self-attention block then FFN block.
+
+    ``cross_attention`` adds a second attention block (encoder-decoder
+    models such as T5 decoders).
+    """
+    if min(d_model, d_ffn, batch_size, seq_len) <= 0:
+        raise ConfigurationError("all layer dimensions must be positive")
+    b, s, dm, dffn = batch_size, seq_len, d_model, d_ffn
+
+    def attention_params(prefix: str) -> list[TensorSpec]:
+        return [
+            TensorSpec(f"{prefix}.wq", (dm, dm), TensorKind.PARAM, "Linear(Q,K,V)"),
+            TensorSpec(f"{prefix}.wk", (dm, dm), TensorKind.PARAM, "Linear(Q,K,V)"),
+            TensorSpec(f"{prefix}.wv", (dm, dm), TensorKind.PARAM, "Linear(Q,K,V)"),
+            TensorSpec(f"{prefix}.wo", (dm, dm), TensorKind.PARAM, "Linear"),
+            TensorSpec(f"{prefix}.ln.weight", (dm,), TensorKind.PARAM, "LayerNorm"),
+            TensorSpec(f"{prefix}.ln.bias", (dm,), TensorKind.PARAM, "LayerNorm"),
+        ]
+
+    def attention_acts(prefix: str) -> list[TensorSpec]:
+        return [
+            TensorSpec(f"{prefix}.q", (b, s, dm), TensorKind.ACTIVATION, "Linear(Q,K,V)"),
+            TensorSpec(f"{prefix}.k", (b, s, dm), TensorKind.ACTIVATION, "Linear(Q,K,V)"),
+            TensorSpec(f"{prefix}.v", (b, s, dm), TensorKind.ACTIVATION, "Linear(Q,K,V)"),
+            # Paper simplification: attention scores accounted as b x s.
+            TensorSpec(f"{prefix}.scores", (b, s), TensorKind.ACTIVATION, "MatMul"),
+            TensorSpec(f"{prefix}.softmax", (b, s), TensorKind.ACTIVATION, "ScaledMaskSoftmax"),
+            TensorSpec(f"{prefix}.attn_vec", (b, s, dm), TensorKind.ACTIVATION, "MatMul"),
+            TensorSpec(f"{prefix}.out", (b, s, dm), TensorKind.ACTIVATION, "Linear"),
+            TensorSpec(f"{prefix}.residual", (b, s, dm), TensorKind.ACTIVATION, "Add"),
+            TensorSpec(f"{prefix}.ln_out", (b, s, dm), TensorKind.ACTIVATION, "LayerNorm"),
+        ]
+
+    params = attention_params(f"{name}.attn")
+    acts = attention_acts(f"{name}.attn")
+    if cross_attention:
+        params += attention_params(f"{name}.xattn")
+        acts += attention_acts(f"{name}.xattn")
+    params += [
+        TensorSpec(f"{name}.ffn.w1", (dm, dffn), TensorKind.PARAM, "Linear"),
+        TensorSpec(f"{name}.ffn.w2", (dffn, dm), TensorKind.PARAM, "Linear"),
+        TensorSpec(f"{name}.ffn.ln.weight", (dm,), TensorKind.PARAM, "LayerNorm"),
+        TensorSpec(f"{name}.ffn.ln.bias", (dm,), TensorKind.PARAM, "LayerNorm"),
+    ]
+    acts += [
+        TensorSpec(f"{name}.ffn.h", (b, s, dffn), TensorKind.ACTIVATION, "Linear"),
+        TensorSpec(f"{name}.ffn.gelu", (b, s, dffn), TensorKind.ACTIVATION, "GeLU"),
+        TensorSpec(f"{name}.ffn.out", (b, s, dm), TensorKind.ACTIVATION, "Linear"),
+        TensorSpec(f"{name}.ffn.residual", (b, s, dm), TensorKind.ACTIVATION, "Add"),
+        TensorSpec(f"{name}.ffn.ln_out", (b, s, dm), TensorKind.ACTIVATION, "LayerNorm"),
+    ]
+    return LayerSpec(name=name, params=tuple(params), activations=tuple(acts))
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A full model: a stack of layer specs plus context dimensions."""
+
+    name: str
+    layers: tuple[LayerSpec, ...]
+    batch_size: int
+    seq_len: int
+    d_model: int
+    d_ffn: int
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def param_count(self) -> int:
+        return sum(layer.param_count for layer in self.layers)
+
+    @property
+    def params_bytes(self) -> int:
+        return sum(layer.params_bytes for layer in self.layers)
+
+    @property
+    def acts_bytes(self) -> int:
+        return sum(layer.acts_bytes for layer in self.layers)
+
+    @property
+    def optims_bytes(self) -> int:
+        return sum(layer.optims_bytes for layer in self.layers)
+
+    @property
+    def model_state_bytes(self) -> int:
+        return self.params_bytes + self.optims_bytes

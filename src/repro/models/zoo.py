@@ -1,0 +1,133 @@
+"""The evaluation model zoo (Table 4 of the paper).
+
+Each entry stores the configuration exactly as published (#Layer, #Head,
+d_Model, d_FFN, #Expert) plus the paper's nominal size label. ``build``
+instantiates the per-layer tensor inventory used by the tracer, scheduler
+and cost models.
+
+Architectural conventions (documented in EXPERIMENTS.md): GPT models are
+decoder-only stacks of ``num_layers`` identical layers; T5 models are
+encoder-decoder with ``num_layers`` encoder layers plus ``num_layers``
+decoder layers (decoders carry cross-attention), which reproduces the
+nominal sizes of the small T5 configs; T5-MoE stacks ``num_layers`` MoE
+layers with the published expert count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.models.moe import moe_layer
+from repro.models.transformer import LayerSpec, ModelSpec, transformer_layer
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One row of Table 4."""
+
+    name: str
+    family: str  # "gpt" | "t5" | "t5-moe"
+    num_layers: int
+    num_heads: int
+    d_model: int
+    d_ffn: int
+    num_experts: int = 0
+    nominal_params: float = 0.0  # the paper's size label, in parameters
+
+    def __post_init__(self) -> None:
+        if self.family not in ("gpt", "t5", "t5-moe"):
+            raise ConfigurationError(f"unknown model family {self.family!r}")
+        if self.family == "t5-moe" and self.num_experts <= 0:
+            raise ConfigurationError("t5-moe models need num_experts > 0")
+
+    def with_layers(self, num_layers: int) -> "ModelConfig":
+        """Same architecture scaled to a different depth (Table 5 sweeps)."""
+        return replace(self, num_layers=num_layers, name=f"{self.name}@{num_layers}L")
+
+    def with_experts(self, num_experts: int) -> "ModelConfig":
+        """Same MoE architecture with a different expert count (Figure 9)."""
+        return replace(self, num_experts=num_experts, name=f"{self.name}@{num_experts}E")
+
+    def build(self, batch_size: int = 1, seq_len: int = 2048) -> ModelSpec:
+        """Materialize the per-layer tensor inventory."""
+        layers: list[LayerSpec] = []
+        if self.family == "gpt":
+            layers = [
+                transformer_layer(
+                    self.d_model, self.d_ffn, batch_size, seq_len, name=f"dec{i}"
+                )
+                for i in range(self.num_layers)
+            ]
+        elif self.family == "t5":
+            layers = [
+                transformer_layer(
+                    self.d_model, self.d_ffn, batch_size, seq_len, name=f"enc{i}"
+                )
+                for i in range(self.num_layers)
+            ] + [
+                transformer_layer(
+                    self.d_model,
+                    self.d_ffn,
+                    batch_size,
+                    seq_len,
+                    name=f"dec{i}",
+                    cross_attention=True,
+                )
+                for i in range(self.num_layers)
+            ]
+        else:  # t5-moe
+            layers = [
+                moe_layer(
+                    self.d_model,
+                    self.d_ffn,
+                    self.num_experts,
+                    batch_size,
+                    seq_len,
+                    name=f"moe{i}",
+                )
+                for i in range(self.num_layers)
+            ]
+        return ModelSpec(
+            name=self.name,
+            layers=tuple(layers),
+            batch_size=batch_size,
+            seq_len=seq_len,
+            d_model=self.d_model,
+            d_ffn=self.d_ffn,
+        )
+
+
+def _b(billion: float) -> float:
+    return billion * 1e9
+
+
+#: Table 4, verbatim.
+MODEL_ZOO: dict[str, ModelConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        ModelConfig("gpt3-1.7b", "gpt", 24, 24, 2304, 9216, nominal_params=_b(1.7)),
+        ModelConfig("gpt3-13b", "gpt", 40, 40, 5140, 20506, nominal_params=_b(13)),
+        ModelConfig("gpt3-28b", "gpt", 26, 128, 8192, 32768, nominal_params=_b(28)),
+        ModelConfig("gpt3-30b", "gpt", 64, 36, 8192, 32768, nominal_params=_b(30)),
+        ModelConfig("gpt3-55b", "gpt", 68, 128, 8192, 32768, nominal_params=_b(55)),
+        ModelConfig("gpt3-120b", "gpt", 64, 96, 12288, 49152, nominal_params=_b(120)),
+        ModelConfig("gpt3-175b", "gpt", 70, 112, 14336, 57344, nominal_params=_b(175)),
+        ModelConfig("t5-1.4b", "t5", 16, 16, 1024, 16384, nominal_params=_b(1.4)),
+        ModelConfig("t5-27b", "t5", 28, 64, 4096, 16384, nominal_params=_b(27)),
+        ModelConfig("t5-58b", "t5", 60, 64, 4096, 16384, nominal_params=_b(58)),
+        ModelConfig(
+            "t5-moe-1.2t", "t5-moe", 16, 16, 1024, 16384,
+            num_experts=2304, nominal_params=1.2e12,
+        ),
+    )
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a Table 4 configuration by name (case-insensitive)."""
+    key = name.lower()
+    if key not in MODEL_ZOO:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise ConfigurationError(f"unknown model {name!r}; known: {known}")
+    return MODEL_ZOO[key]

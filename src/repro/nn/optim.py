@@ -1,0 +1,121 @@
+"""Optimizers: SGD, Adam, and mixed-precision Adam with FP32 master states.
+
+``MixedPrecisionAdam`` realizes the memory layout of Section 2.1: the model
+computes with FP16-rounded parameters while the optimizer maintains FP32
+master parameters plus first and second moments — exactly the "Optims"
+column of Table 1 (three FP32 tensors per parameter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GradientError
+from repro.nn.tensor import Tensor
+
+
+class SGD:
+    """Plain stochastic gradient descent (optionally with momentum)."""
+
+    def __init__(self, params: list[Tensor], lr: float = 0.01, momentum: float = 0.0):
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += param.grad
+                param.data -= self.lr * velocity
+            else:
+                param.data -= self.lr * param.grad
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba 2015) over FP32 parameters."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.t = 0
+        self.m = [np.zeros_like(p.data) for p in self.params]
+        self.v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            self._apply(param.data, param.grad, self.m[i], self.v[i])
+
+    def _apply(self, data: np.ndarray, grad: np.ndarray,
+               m: np.ndarray, v: np.ndarray) -> None:
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad * grad
+        mhat = m / (1 - self.beta1**self.t)
+        vhat = v / (1 - self.beta2**self.t)
+        data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+
+class MixedPrecisionAdam(Adam):
+    """Adam with FP32 master weights feeding FP16-rounded model weights.
+
+    The optimizer owns the FP32 master copy; after each step the model's
+    parameters are refreshed with the FP16-rounded master values,
+    mirroring ``cast(p32, FP16)`` on line 13 of Algorithm 2.
+    """
+
+    def __init__(self, params: list[Tensor], lr: float = 1e-3, **kwargs):
+        super().__init__(params, lr=lr, **kwargs)
+        self.master = [p.data.astype(np.float32).copy() for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            if param.grad.shape != self.master[i].shape:
+                raise GradientError(
+                    f"gradient shape {param.grad.shape} does not match "
+                    f"master {self.master[i].shape}"
+                )
+            self._apply(self.master[i], param.grad, self.m[i], self.v[i])
+            param.data[...] = self.master[i].astype(np.float16).astype(np.float32)
+
+    def apply_gradient(self, index: int, grad: np.ndarray) -> np.ndarray:
+        """Update one parameter from an externally supplied gradient.
+
+        Used by the lock-free update thread (Algorithm 2), which consumes
+        *buffered* gradients rather than the tensors' ``.grad`` fields.
+        Returns the refreshed FP16-rounded parameter values.
+        """
+        if self.t < 1:
+            raise GradientError("bump_step() must precede apply_gradient()")
+        self._apply(self.master[index], grad, self.m[index], self.v[index])
+        return self.master[index].astype(np.float16).astype(np.float32)
+
+    def bump_step(self) -> None:
+        """Advance the bias-correction step counter by one sweep."""
+        self.t += 1

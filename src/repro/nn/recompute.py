@@ -1,0 +1,54 @@
+"""Activation recomputation (gradient checkpointing).
+
+Section 4.2: "we utilize the recomputation technique to further alleviate
+the GPU memory pressure, where some activations are released in the
+forward pass and then are regenerated in the backward pass by
+re-executing their forward computation."
+
+``checkpoint(fn, x, params)`` runs ``fn`` without building a tape (the
+forward activations are never retained) and, during backward, re-executes
+``fn`` with the tape enabled to obtain gradients for both ``x`` and the
+parameter tensors ``fn`` closes over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GradientError
+from repro.nn.tensor import Tensor, no_grad
+
+
+def checkpoint(fn, x: Tensor, params: tuple[Tensor, ...] = ()) -> Tensor:
+    """Memory-saving forward of ``fn(x)`` with recompute-on-backward.
+
+    ``fn`` must be deterministic (the recomputed forward has to produce
+    the same values). Pass the parameter tensors ``fn`` closes over via
+    ``params`` so gradient requirements propagate even when ``x`` itself
+    is constant; their gradients accumulate during the replay exactly as
+    in an un-checkpointed run.
+    """
+    with no_grad():
+        out_data = np.array(fn(Tensor(x.data)).data, copy=True)
+
+    def backward(grad, a=x, f=fn):
+        replay_input = Tensor(a.data, requires_grad=True)
+        replayed = f(replay_input)
+        if not replayed.requires_grad:
+            raise GradientError(
+                "checkpointed function built no tape on replay; "
+                "did grad get disabled?"
+            )
+        if not np.allclose(replayed.data, out_data, atol=1e-5):
+            raise GradientError(
+                "checkpointed function is not deterministic: the replayed "
+                "forward diverged from the original"
+            )
+        replayed.backward(np.asarray(grad))
+        if a.requires_grad and replay_input.grad is not None:
+            a._accumulate(replay_input.grad)
+
+    # Parents include the closed-over parameters so the output joins the
+    # tape whenever anything upstream is trainable; only x receives its
+    # gradient through this node (parameters get theirs in the replay).
+    return Tensor._make(out_data, (x, *params), backward)

@@ -1,0 +1,98 @@
+"""Learning-rate schedules and gradient clipping.
+
+Standard large-model training machinery (warmup + decay, global-norm
+clipping) for the functional substrate; pre-training recipes like GPT-3's
+use exactly these shapes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.tensor import Tensor
+
+
+def clip_grad_norm(params: list[Tensor], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (the quantity training logs monitor).
+    """
+    if max_norm <= 0:
+        raise ConfigurationError("max_norm must be positive")
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            total += float((param.grad.astype(np.float64) ** 2).sum())
+    norm = math.sqrt(total)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for param in params:
+            if param.grad is not None:
+                param.grad *= scale
+    return norm
+
+
+class LRSchedule:
+    """Base class: maps a step index to a learning rate."""
+
+    def __init__(self, base_lr: float):
+        if base_lr <= 0:
+            raise ConfigurationError("base_lr must be positive")
+        self.base_lr = base_lr
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def apply(self, optimizer, step: int) -> float:
+        """Set ``optimizer.lr`` for ``step``; returns the rate used."""
+        rate = self.lr_at(step)
+        optimizer.lr = rate
+        return rate
+
+
+class ConstantLR(LRSchedule):
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class WarmupCosineLR(LRSchedule):
+    """Linear warmup then cosine decay to ``min_lr`` (the GPT-3 recipe)."""
+
+    def __init__(self, base_lr: float, warmup_steps: int, total_steps: int,
+                 min_lr: float = 0.0):
+        super().__init__(base_lr)
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ConfigurationError("need 0 <= warmup_steps < total_steps")
+        if not 0 <= min_lr <= base_lr:
+            raise ConfigurationError("need 0 <= min_lr <= base_lr")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        progress = (step - self.warmup_steps) / (self.total_steps - self.warmup_steps)
+        progress = min(1.0, progress)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupLinearLR(LRSchedule):
+    """Linear warmup then linear decay to zero."""
+
+    def __init__(self, base_lr: float, warmup_steps: int, total_steps: int):
+        super().__init__(base_lr)
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ConfigurationError("need 0 <= warmup_steps < total_steps")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        remaining = (self.total_steps - step) / (self.total_steps - self.warmup_steps)
+        return self.base_lr * max(0.0, remaining)

@@ -1,0 +1,374 @@
+"""Reverse-mode autograd over numpy arrays.
+
+A deliberately small, explicit implementation: every differentiable
+operation records its parents and a backward closure; ``backward()`` walks
+the tape in reverse topological order. Broadcasting follows numpy rules,
+with gradients un-broadcast back to the operand shapes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from repro.errors import GradientError
+
+_grad_enabled = True
+
+#: Count of tape nodes created since process start — observability hook
+#: used to verify that activation recomputation actually shrinks the
+#: forward-pass graph (Section 4.2's recompute technique).
+tape_nodes_created = 0
+
+#: Low-precision compute format for mixed-precision layers. The paper
+#: "stores the model states in FP32 while computes in BF16" (Section 6.1);
+#: FP16 is the default here for its stronger (more visible) rounding.
+_compute_dtype = "fp16"
+
+_VALID_COMPUTE_DTYPES = ("fp16", "bf16", "fp32")
+
+
+def set_compute_dtype(name: str) -> None:
+    """Select the mixed-precision compute format: fp16, bf16 or fp32."""
+    global _compute_dtype
+    if name not in _VALID_COMPUTE_DTYPES:
+        raise GradientError(
+            f"unknown compute dtype {name!r}; choose from {_VALID_COMPUTE_DTYPES}"
+        )
+    _compute_dtype = name
+
+
+def get_compute_dtype() -> str:
+    return _compute_dtype
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable graph construction (evaluation / parameter updates)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def round_bf16(array: np.ndarray) -> np.ndarray:
+    """Round a float32 array to bfloat16 precision (round-to-nearest-even).
+
+    BF16 keeps float32's exponent and truncates the mantissa to 7 bits;
+    the rounding adds half a ULP (biased by the LSB for ties-to-even)
+    before truncation, matching hardware behaviour.
+    """
+    array = np.asarray(array, dtype=np.float32)
+    bits = array.view(np.uint32)
+    lsb = (bits >> 16) & 1
+    rounded = bits + 0x7FFF + lsb
+    return (rounded & np.uint32(0xFFFF0000)).view(np.float32).copy()
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo numpy broadcasting."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy array with an optional gradient tape entry."""
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad and _grad_enabled
+        self.name = name
+        self._backward = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            global tape_nodes_created
+            tape_nodes_created += 1
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float32), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Shape and metadata
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wrap(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._wrap(other)
+
+        def backward(grad, a=self, b=other):
+            if a.requires_grad:
+                a._accumulate(grad)
+            if b.requires_grad:
+                b._accumulate(grad)
+
+        return self._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad, a=self):
+            if a.requires_grad:
+                a._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._wrap(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._wrap(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._wrap(other)
+
+        def backward(grad, a=self, b=other):
+            if a.requires_grad:
+                a._accumulate(grad * b.data)
+            if b.requires_grad:
+                b._accumulate(grad * a.data)
+
+        return self._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._wrap(other)
+
+        def backward(grad, a=self, b=other):
+            if a.requires_grad:
+                a._accumulate(grad / b.data)
+            if b.requires_grad:
+                b._accumulate(-grad * a.data / (b.data * b.data))
+
+        return self._make(self.data / other.data, (self, other), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._wrap(other)
+
+        def backward(grad, a=self, b=other):
+            if a.requires_grad:
+                a._accumulate(grad @ np.swapaxes(b.data, -1, -2))
+            if b.requires_grad:
+                b._accumulate(np.swapaxes(a.data, -1, -2) @ grad)
+
+        return self._make(self.data @ other.data, (self, other), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        def backward(grad, a=self, n=float(exponent)):
+            if a.requires_grad:
+                a._accumulate(grad * n * np.power(a.data, n - 1))
+
+        return self._make(np.power(self.data, exponent), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions and shape ops
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(grad, a=self, ax=axis, kd=keepdims):
+            if not a.requires_grad:
+                return
+            g = np.asarray(grad)
+            if ax is not None and not kd:
+                g = np.expand_dims(g, ax)
+            a._accumulate(np.broadcast_to(g, a.data.shape))
+
+        return self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+
+        def backward(grad, a=self):
+            if a.requires_grad:
+                a._accumulate(np.asarray(grad).reshape(a.data.shape))
+
+        return self._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+
+        def backward(grad, a=self, inv=tuple(inverse)):
+            if a.requires_grad:
+                a._accumulate(np.transpose(np.asarray(grad), inv))
+
+        return self._make(np.transpose(self.data, axes), (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, key) -> "Tensor":
+        def backward(grad, a=self, k=key):
+            if a.requires_grad:
+                full = np.zeros_like(a.data)
+                np.add.at(full, k, np.asarray(grad))
+                a._accumulate(full)
+
+        return self._make(self.data[key], (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Nonlinearities used by the layers
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad, a=self, o=out_data):
+            if a.requires_grad:
+                a._accumulate(grad * o)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(grad, a=self):
+            if a.requires_grad:
+                a._accumulate(grad / a.data)
+
+        return self._make(np.log(self.data), (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad, a=self, o=out_data):
+            if a.requires_grad:
+                a._accumulate(grad * (1.0 - o * o))
+
+        return self._make(out_data, (self,), backward)
+
+    def cast_fp16(self) -> "Tensor":
+        """Mixed-precision cast: round values through IEEE half precision.
+
+        The rounding is real (data passes through float16), so half-
+        precision quantization effects appear in training, while the graph
+        stays float32 for numpy efficiency. The gradient is the straight-
+        through identity, as in standard mixed-precision training.
+        """
+        out_data = self.data.astype(np.float16).astype(np.float32)
+
+        def backward(grad, a=self):
+            if a.requires_grad:
+                a._accumulate(grad)
+
+        return self._make(out_data, (self,), backward)
+
+    def cast_bf16(self) -> "Tensor":
+        """Round values through bfloat16 (the paper's compute format).
+
+        numpy has no native bfloat16; BF16 is float32 with the low 16
+        mantissa bits dropped, so the rounding is performed by
+        round-to-nearest-even on the raw bit pattern. Gradient is the
+        straight-through identity.
+        """
+        out_data = round_bf16(self.data)
+
+        def backward(grad, a=self):
+            if a.requires_grad:
+                a._accumulate(grad)
+
+        return self._make(out_data, (self,), backward)
+
+    def cast_compute(self) -> "Tensor":
+        """Cast through the configured mixed-precision compute format."""
+        if _compute_dtype == "fp16":
+            return self.cast_fp16()
+        if _compute_dtype == "bf16":
+            return self.cast_bf16()
+        return self
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Back-propagate from this tensor through the recorded tape."""
+        if not self.requires_grad:
+            raise GradientError("called backward() on a non-differentiable tensor")
+        if grad is None:
+            if self.data.size != 1:
+                raise GradientError("backward() without grad requires a scalar")
+            grad = np.ones_like(self.data)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)

@@ -1,0 +1,16 @@
+"""Event-driven schedule execution (Section 5's component architecture).
+
+The Unified Scheduler emits a static task plan; at run time an
+event-driven loop dispatches those tasks to three components exactly as
+the paper describes — the **Allocator** moves pages between tiers, the
+**Executor** launches computations when their inputs' events complete,
+and the **Communicator** runs collectives from its queue. This package
+executes an Algorithm-1 schedule against the *functional* memory pools,
+so the plan's feasibility claims (no OOM, every page present before its
+gather) are validated with real page movements rather than arithmetic.
+"""
+
+from repro.runtime.events import Event, EventBus
+from repro.runtime.executor import ScheduleExecutor, ExecutionReport
+
+__all__ = ["Event", "EventBus", "ScheduleExecutor", "ExecutionReport"]

@@ -1,0 +1,78 @@
+"""A small synchronous event bus.
+
+Section 5: "Sending instructions by the message passing will bring severe
+overheads into training, thus we adopt the event-driven programming
+techniques. For example, computations will be launched into threads only
+if the events of modifying its input tensor are completed."
+
+Events are named one-shot latches; callbacks registered before or after
+completion both fire exactly once, in registration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+
+
+@dataclass
+class Event:
+    """A one-shot completion latch with callbacks."""
+
+    name: str
+    _done: bool = False
+    _callbacks: list = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def on_complete(self, callback) -> None:
+        if self._done:
+            callback()
+        else:
+            self._callbacks.append(callback)
+
+    def complete(self) -> None:
+        if self._done:
+            raise SchedulingError(f"event {self.name!r} completed twice")
+        self._done = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback()
+
+
+class EventBus:
+    """Named events with lazy creation and barrier helpers."""
+
+    def __init__(self) -> None:
+        self._events: dict[str, Event] = {}
+
+    def event(self, name: str) -> Event:
+        if name not in self._events:
+            self._events[name] = Event(name)
+        return self._events[name]
+
+    def complete(self, name: str) -> None:
+        self.event(name).complete()
+
+    def when_all(self, names: list[str], callback) -> None:
+        """Fire ``callback`` once every named event has completed."""
+        pending = [name for name in names if not self.event(name).done]
+        if not pending:
+            callback()
+            return
+        remaining = {"count": len(pending)}
+
+        def arm():
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                callback()
+
+        for name in pending:
+            self.event(name).on_complete(arm)
+
+    @property
+    def incomplete(self) -> list[str]:
+        return [name for name, event in self._events.items() if not event.done]

@@ -1,0 +1,224 @@
+"""Executes an Algorithm-1 schedule against functional page pools.
+
+This is the validation half of the Unified Scheduler: the plan's
+``{operation, page, trigger_id}`` list is dispatched in logical-op order —
+moves and gathers release at their trigger, computations launch when the
+events of their inputs complete (the paper's event-driven rule) — while
+every allocation goes through a real :class:`~repro.memory.pool.DevicePool`
+sized to the scheduler's GPU budget. If Algorithm 1's memory arithmetic
+were wrong anywhere, the pool would raise :class:`OutOfMemoryError` here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.hardware.device import DeviceKind
+from repro.memory.allocator import PageAllocator
+from repro.memory.pool import DevicePool
+from repro.runtime.events import EventBus
+from repro.scheduler.tasks import Operation
+from repro.scheduler.unified import IterationPlan
+
+
+@dataclass
+class ExecutionReport:
+    """What one schedule replay did, and its observed memory behaviour."""
+
+    moves_executed: int = 0
+    gathers_executed: int = 0
+    computes_executed: int = 0
+    peak_gpu_pages: int = 0
+    gpu_pool_pages: int = 0
+    events_fired: int = 0
+    op_order: list[int] = field(default_factory=list)
+
+    @property
+    def peak_gpu_fraction(self) -> float:
+        if not self.gpu_pool_pages:
+            return 0.0
+        return self.peak_gpu_pages / self.gpu_pool_pages
+
+
+class ScheduleExecutor:
+    """Replays an :class:`IterationPlan` over functional pools."""
+
+    #: The planner's memory model tracks exact byte counts; physical
+    #: buffers quantize to whole pages, so up to one page per concurrent
+    #: buffer (gather + activations + gradients) of slack is needed on
+    #: top of the byte budget. Production systems reserve the same way.
+    ROUNDING_SLACK_PAGES = 4
+
+    def __init__(
+        self,
+        plan: IterationPlan,
+        gpu_budget_bytes: int,
+        page_bytes: int,
+        backend: str = "null",
+    ):
+        self.plan = plan
+        self.page_bytes = page_bytes
+        cpu_capacity = max(
+            2 * sum(t.shard_bytes for t in plan.layer_pages) + 64 * page_bytes,
+            4 * page_bytes,
+        )
+        self.allocator = PageAllocator(
+            {
+                DeviceKind.GPU: DevicePool(
+                    DeviceKind.GPU,
+                    gpu_budget_bytes + self.ROUNDING_SLACK_PAGES * page_bytes,
+                    page_bytes,
+                    backend=backend,
+                ),
+                DeviceKind.CPU: DevicePool(
+                    DeviceKind.CPU, cpu_capacity, page_bytes, backend=backend
+                ),
+            }
+        )
+        self.bus = EventBus()
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionReport:
+        plan = self.plan
+        trace = plan.trace
+        gpu_pool = self.allocator.pool(DeviceKind.GPU)
+        report = ExecutionReport(gpu_pool_pages=gpu_pool.num_pages)
+
+        # Materialize every layer's shard as its individual pages on CPU.
+        page_tensors: dict[tuple[int, int], object] = {}
+        num_pages: dict[int, int] = {}
+        for table in plan.layer_pages:
+            num_pages[table.layer_index] = table.num_pages
+            for page_id in range(table.num_pages):
+                page_tensors[(table.layer_index, page_id)] = self.allocator.allocate(
+                    (table.page_nbytes(page_id),), np.uint8, DeviceKind.CPU,
+                    share_tail=False,
+                )
+
+        by_trigger: dict[int, list] = defaultdict(list)
+        computes: dict[int, int] = {}
+        gather_of_op: dict[int, object] = {}
+        for task in plan.schedule:
+            if task.operation == Operation.COMPUTE:
+                computes[task.op_id] = task.layer_index
+            else:
+                by_trigger[task.trigger_id].append(task)
+                if task.operation == Operation.ALL_GATHER:
+                    gather_of_op[task.op_id] = None  # filled when executed
+
+        layer_by_index = {layer.layer_index: layer for layer in trace.layers}
+        on_gpu: set[tuple[int, int]] = set()
+
+        def track_peak() -> None:
+            report.peak_gpu_pages = max(report.peak_gpu_pages, gpu_pool.pages_in_use)
+
+        for op_id in sorted(computes):
+            layer_index = computes[op_id]
+            layer = layer_by_index[layer_index]
+
+            # Allocator / Communicator tasks released at this trigger.
+            # Evictions free space first, then staging moves, then the
+            # gather allocations that need the space.
+            order = {
+                Operation.MOVE_TO_CPU: 0,
+                Operation.MOVE_TO_GPU: 1,
+                Operation.ALL_GATHER: 2,
+            }
+            for task in sorted(
+                by_trigger.get(op_id, []), key=lambda t: order[t.operation]
+            ):
+                if task.operation == Operation.MOVE_TO_GPU:
+                    key = (task.layer_index, task.page_id)
+                    page_tensors[key].move(DeviceKind.GPU)
+                    on_gpu.add(key)
+                    report.moves_executed += 1
+                    self.bus.complete(f"move.l{key[0]}.p{key[1]}.t{op_id}")
+                elif task.operation == Operation.MOVE_TO_CPU:
+                    key = (task.layer_index, task.page_id)
+                    page_tensors[key].move(DeviceKind.CPU)
+                    on_gpu.discard(key)
+                    report.moves_executed += 1
+                elif task.operation == Operation.ALL_GATHER:
+                    missing = [
+                        page_id
+                        for page_id in range(num_pages[task.layer_index])
+                        if (task.layer_index, page_id) not in on_gpu
+                    ]
+                    if missing:
+                        raise SchedulingError(
+                            f"gather of layer {task.layer_index} before pages "
+                            f"{missing} arrived — the schedule is invalid"
+                        )
+                    gather_of_op[task.op_id] = self.allocator.allocate(
+                        (max(1, task.nbytes),), np.uint8, DeviceKind.GPU,
+                        share_tail=False,
+                    )
+                    report.gathers_executed += 1
+                    self.bus.complete(f"gather.op{task.op_id}")
+                track_peak()
+
+            # Event-driven launch: the computation fires only once the
+            # event of its gathered input has completed (Section 5).
+            launched = {"ok": False}
+
+            def launch(op=op_id):
+                launched["ok"] = True
+                report.computes_executed += 1
+                report.op_order.append(op)
+
+            self.bus.when_all([f"gather.op{op_id}"], launch)
+            if not launched["ok"]:
+                raise SchedulingError(
+                    f"compute op {op_id} never received its gather event"
+                )
+
+            is_backward = op_id >= trace.num_layers
+            if not is_backward:
+                # Activations materialize on the GPU during the forward
+                # and are released immediately under recomputation.
+                acts = self.allocator.allocate(
+                    (max(1, layer.act_bytes_fp16),), np.uint8, DeviceKind.GPU,
+                    share_tail=False,
+                )
+                track_peak()
+                acts.release()
+            else:
+                # Backward: transient gradients coexist with the gather.
+                grads = self.allocator.allocate(
+                    (max(1, layer.grad_bytes_fp16),), np.uint8, DeviceKind.GPU,
+                    share_tail=False,
+                )
+                track_peak()
+                grads.release()
+
+            buffer = gather_of_op.get(op_id)
+            if buffer is not None:
+                buffer.release()
+                gather_of_op[op_id] = None
+
+            # After a layer's backward its shard leaves the GPU.
+            if is_backward:
+                for page_id in range(num_pages[layer_index]):
+                    key = (layer_index, page_id)
+                    if key in on_gpu:
+                        page_tensors[key].move(DeviceKind.CPU)
+                        on_gpu.discard(key)
+            track_peak()
+
+        report.events_fired = len(self.bus._events)
+        for tensor in page_tensors.values():
+            tensor.release()
+        return report
+
+    def close(self) -> None:
+        self.allocator.close()
+
+    def __enter__(self) -> "ScheduleExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

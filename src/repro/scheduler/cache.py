@@ -1,0 +1,76 @@
+"""Dynamic GPU cache of optimizer states (Section 4.2).
+
+"If sufficient space is available, we reserve a portion of the GPU memory
+as the cache to store a segment of the CPU's optimizer states.
+Additionally, we move the relevant CPU computations to the GPUs ... we
+dynamically make cache size decisions for each model based on its tensor
+lifetime information, ensuring training without encountering GPU
+out-of-memory errors."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.scheduler.memory_model import MemoryModel
+from repro.scheduler.pages import LayerPages
+from repro.tracer.tracer import IterationTrace
+from repro.zero.sharding import shard_bytes
+
+
+@dataclass(frozen=True)
+class CachePlan:
+    """Which layers' optimizer-state shards live permanently on the GPU."""
+
+    cached_layers: frozenset[int]
+    cache_bytes: int
+    layer_bytes: dict[int, int]
+
+    def is_cached(self, layer_index: int) -> bool:
+        return layer_index in self.cached_layers
+
+    @property
+    def num_cached(self) -> int:
+        return len(self.cached_layers)
+
+
+def plan_gpu_cache(
+    trace: IterationTrace,
+    layer_pages: list[LayerPages],
+    gpu_budget_bytes: int,
+    num_ranks: int,
+    use_recompute: bool = True,
+    safety_fraction: float = 0.05,
+) -> CachePlan:
+    """Choose the optimizer-state layers to pin in GPU memory.
+
+    The upper bound on cacheable bytes is the budget minus the worst-case
+    working set: the trace's peak transient load plus the whole parameter
+    shard resident plus the largest gathered layer. Layers are admitted in
+    update order (last layer first — its gradients arrive first, so its
+    GPU update overlaps the most backward computation).
+    """
+    if not 0 <= safety_fraction < 1:
+        raise SchedulingError("safety_fraction must be in [0, 1)")
+    base = MemoryModel(
+        trace, gpu_budget_bytes, num_ranks=num_ranks, cache_bytes=0,
+        use_recompute=use_recompute,
+    )
+    shard_total = sum(table.shard_bytes for table in layer_pages)
+    largest_gathered = max(table.gathered_bytes for table in layer_pages)
+    working_set = base.peak_live() + shard_total + largest_gathered
+    leftover = gpu_budget_bytes * (1 - safety_fraction) - working_set
+    cached: set[int] = set()
+    layer_bytes: dict[int, int] = {}
+    total = 0
+    for layer in reversed(trace.layers):
+        optim_shard = shard_bytes(layer.optim_bytes_fp32, num_ranks)
+        if total + optim_shard > leftover:
+            break
+        cached.add(layer.layer_index)
+        layer_bytes[layer.layer_index] = optim_shard
+        total += optim_shard
+    return CachePlan(
+        cached_layers=frozenset(cached), cache_bytes=total, layer_bytes=layer_bytes
+    )

@@ -1,0 +1,122 @@
+"""GPU-memory feasibility model used by Algorithm 1.
+
+Both phases of the paper's scheduling algorithm query memory state:
+``get_available_memory(S, traces)`` in Phase 1 and the OOM check when
+advancing all-gathers in Phase 2. This module maintains a per-logical-op
+array of live GPU bytes so those queries are O(span) instead of a full
+schedule replay.
+
+The base load (independent of scheduling decisions) comes from the trace:
+activations and their recompute copies, transient full gradients at each
+backward op, and optionally a constant GPU cache of optimizer states.
+Scheduled contributions (resident shard pages, gathered parameter buffers)
+are added and removed incrementally as the scheduler edits the plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.models.transformer import TensorKind
+from repro.tracer.tracer import IterationTrace
+
+
+class MemoryModel:
+    """Per-op live-byte ledger with feasibility queries."""
+
+    def __init__(
+        self,
+        trace: IterationTrace,
+        gpu_budget_bytes: int,
+        num_ranks: int = 1,
+        cache_bytes: int = 0,
+        use_recompute: bool = True,
+    ):
+        if gpu_budget_bytes <= 0:
+            raise SchedulingError("GPU budget must be positive")
+        if num_ranks <= 0:
+            raise SchedulingError("num_ranks must be positive")
+        self.budget = gpu_budget_bytes
+        self.num_ops = trace.num_ops
+        self._live = np.zeros(self.num_ops, dtype=np.float64)
+        self._base = np.zeros(self.num_ops, dtype=np.float64)
+        self._build_base(trace, num_ranks, cache_bytes, use_recompute)
+        self._live += self._base
+
+    def _build_base(
+        self, trace: IterationTrace, num_ranks: int, cache_bytes: int, use_recompute: bool
+    ) -> None:
+        pattern = trace.pattern
+        for access in pattern.accesses:
+            if access.kind != TensorKind.ACTIVATION:
+                continue
+            self._base[access.first_id:access.end_id + 1] += access.nbytes
+        for layer in trace.layers:
+            if use_recompute:
+                # Recomputed activations are live again during backward.
+                self._base[layer.bwd_id] += layer.act_bytes_fp16
+            # Full gradients coexist with gathered params at backward; the
+            # rank's reduced gradient shard then lingers one op until the
+            # Allocator offloads it to CPU memory.
+            self._base[layer.bwd_id] += layer.grad_bytes_fp16
+            end = min(layer.bwd_id + 1, self.num_ops - 1)
+            self._base[layer.bwd_id:end + 1] += layer.grad_bytes_fp16 / num_ranks
+        if cache_bytes:
+            self._base += cache_bytes
+
+    # ------------------------------------------------------------------
+    # Incremental edits
+    # ------------------------------------------------------------------
+    def _span(self, start_op: int, end_op: int) -> slice:
+        if not 0 <= start_op <= end_op < self.num_ops:
+            raise SchedulingError(
+                f"span [{start_op}, {end_op}] outside {self.num_ops} ops"
+            )
+        return slice(start_op, end_op + 1)
+
+    def add_resident(self, nbytes: int, start_op: int, end_op: int) -> None:
+        self._live[self._span(start_op, end_op)] += nbytes
+
+    def remove_resident(self, nbytes: int, start_op: int, end_op: int) -> None:
+        span = self._span(start_op, end_op)
+        self._live[span] -= nbytes
+        if (self._live[span] < self._base[span] - 1e-6).any():
+            raise SchedulingError("removed more resident bytes than were added")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def live_at(self, op_id: int) -> float:
+        return float(self._live[op_id])
+
+    def available_at(self, op_id: int) -> float:
+        """Algorithm 1's ``get_available_memory`` at one logical op."""
+        return self.budget - float(self._live[op_id])
+
+    def min_available(self, start_op: int, end_op: int) -> float:
+        return self.budget - float(self._live[self._span(start_op, end_op)].max())
+
+    def peak_live(self) -> float:
+        return float(self._live.max())
+
+    def fits(self) -> bool:
+        return self.peak_live() <= self.budget
+
+    def earliest_feasible(self, nbytes: int, latest: int, end_op: int) -> int | None:
+        """Phase 2 query: smallest trigger ``t <= latest`` such that adding
+        ``nbytes`` over ``[t, end_op]`` stays within budget, or ``None``
+        when not even ``latest`` is feasible.
+        """
+        if latest > end_op:
+            raise SchedulingError("latest trigger after the task's deadline")
+        running_max = float(self._live[self._span(latest, end_op)].max())
+        if running_max + nbytes > self.budget:
+            return None
+        best = latest
+        for t in range(latest - 1, -1, -1):
+            running_max = max(running_max, float(self._live[t]))
+            if running_max + nbytes > self.budget:
+                break
+            best = t
+        return best

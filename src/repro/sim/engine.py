@@ -1,0 +1,133 @@
+"""Deterministic stream-DAG simulator.
+
+Tasks are submitted to streams in program order; a task starts when (a) its
+stream has finished every task submitted to it earlier and (b) all of its
+explicit dependencies have completed. This is the CUDA stream/event
+execution model the paper's Executor uses ("computations will be launched
+into threads only if the events of modifying its input tensor are
+completed", Section 5), and it is sufficient to reproduce every overlap
+effect the evaluation measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from graphlib import CycleError, TopologicalSorter
+
+from repro.errors import SimulationError
+from repro.sim.stream import Stream
+from repro.sim.timeline import Interval, Timeline
+
+
+@dataclass
+class SimTask:
+    """One unit of simulated work.
+
+    Attributes:
+        name: unique task name.
+        stream: the serialized resource this task occupies.
+        duration: occupancy time in seconds.
+        deps: tasks (from any stream) that must complete first.
+    """
+
+    name: str
+    stream: Stream
+    duration: float
+    deps: tuple["SimTask", ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimulationError(f"task {self.name!r} has negative duration")
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class Simulator:
+    """Builds a stream/task DAG and computes its deterministic schedule."""
+
+    def __init__(self) -> None:
+        self._streams: dict[str, Stream] = {}
+        self._tasks: dict[str, SimTask] = {}
+        self._order: list[SimTask] = []
+
+    def stream(self, name: str, kind: str = "generic") -> Stream:
+        """Get or create the stream with ``name``.
+
+        A stream's ``kind`` is fixed at creation; asking for the same name
+        with a different kind is a configuration bug.
+        """
+        existing = self._streams.get(name)
+        if existing is not None:
+            if kind != "generic" and existing.kind != kind:
+                raise SimulationError(
+                    f"stream {name!r} already exists with kind {existing.kind!r}"
+                )
+            return existing
+        created = Stream(name=name, kind=kind)
+        self._streams[name] = created
+        return created
+
+    def add_task(
+        self,
+        name: str,
+        stream: Stream | str,
+        duration: float,
+        deps: tuple[SimTask, ...] | list[SimTask] = (),
+    ) -> SimTask:
+        """Submit a task; submission order fixes intra-stream ordering."""
+        if name in self._tasks:
+            raise SimulationError(f"duplicate task name {name!r}")
+        if isinstance(stream, str):
+            stream = self.stream(stream)
+        if stream.name not in self._streams:
+            raise SimulationError(f"stream {stream.name!r} belongs to another simulator")
+        for dep in deps:
+            if dep.name not in self._tasks:
+                raise SimulationError(
+                    f"task {name!r} depends on unknown task {dep.name!r}"
+                )
+        task = SimTask(name=name, stream=stream, duration=duration, deps=tuple(deps))
+        stream._register(name)
+        self._tasks[name] = task
+        self._order.append(task)
+        return task
+
+    @property
+    def tasks(self) -> list[SimTask]:
+        return list(self._order)
+
+    def run(self) -> Timeline:
+        """Compute start/end times for every task and return the timeline."""
+        # Implicit edge: previous task on the same stream.
+        prev_on_stream: dict[str, SimTask] = {}
+        graph: dict[str, set[str]] = {}
+        for task in self._order:
+            preds = {dep.name for dep in task.deps}
+            prev = prev_on_stream.get(task.stream.name)
+            if prev is not None:
+                preds.add(prev.name)
+            prev_on_stream[task.stream.name] = task
+            graph[task.name] = preds
+
+        try:
+            topo = list(TopologicalSorter(graph).static_order())
+        except CycleError as exc:
+            raise SimulationError(f"cyclic task dependencies: {exc}") from exc
+
+        end_time: dict[str, float] = {}
+        intervals: list[Interval] = []
+        for name in topo:
+            task = self._tasks[name]
+            ready = max((end_time[p] for p in graph[name]), default=0.0)
+            end_time[name] = ready + task.duration
+            intervals.append(
+                Interval(
+                    task=name,
+                    stream=task.stream.name,
+                    kind=task.stream.kind,
+                    start=ready,
+                    end=end_time[name],
+                )
+            )
+        return Timeline(intervals)

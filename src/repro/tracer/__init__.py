@@ -1,0 +1,20 @@
+"""Tracer: tensor access patterns and life-times (Section 5 of the paper).
+
+The Tracer records, for every tensor, the logical ID of its first and last
+access within one training iteration plus its production time on CPU and
+GPU. These statistics are the sole input of the Unified Scheduler's
+fine-grained life-time based scheduling (Algorithm 1).
+"""
+
+from repro.tracer.access import AccessPattern, TensorAccess
+from repro.tracer.costmodel import CostModel
+from repro.tracer.tracer import IterationTrace, LayerTrace, Tracer
+
+__all__ = [
+    "TensorAccess",
+    "AccessPattern",
+    "CostModel",
+    "Tracer",
+    "LayerTrace",
+    "IterationTrace",
+]

@@ -1,0 +1,92 @@
+"""Tensor access records, exactly the fields the paper's Tracer collects.
+
+Section 5: "The Tracer in Angel-PTM is responsible for tracking the usage
+of each tensor and summarizing a tensor access pattern for the given model
+as a list of following elements: tensor_id, first_id, end_id, cpu_time,
+gpu_time." Logical IDs (not wall-clock times) index the iteration's
+operation sequence, which "simplifies the scheduling process" (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.transformer import TensorKind
+
+
+@dataclass(frozen=True)
+class TensorAccess:
+    """Life-time record of one tensor over a training iteration.
+
+    Attributes:
+        tensor_id: logical ID of this tensor.
+        name: human-readable tensor name (layer-qualified).
+        first_id: logical operation ID of the first access.
+        end_id: logical operation ID of the last access.
+        cpu_time: time to produce this tensor on CPU, seconds.
+        gpu_time: time to produce this tensor on GPU, seconds.
+        nbytes: physical size of the tensor.
+        kind: parameter / activation / optimizer-state.
+        layer_index: index of the owning layer in the model.
+    """
+
+    tensor_id: int
+    name: str
+    first_id: int
+    end_id: int
+    cpu_time: float
+    gpu_time: float
+    nbytes: int
+    kind: TensorKind
+    layer_index: int
+
+    def __post_init__(self) -> None:
+        if self.first_id > self.end_id:
+            raise ConfigurationError(
+                f"{self.name}: first access {self.first_id} after last {self.end_id}"
+            )
+        if self.nbytes <= 0:
+            raise ConfigurationError(f"{self.name}: nbytes must be positive")
+
+    @property
+    def lifetime(self) -> int:
+        """Number of logical operations this tensor stays live across."""
+        return self.end_id - self.first_id + 1
+
+    def live_at(self, op_id: int) -> bool:
+        return self.first_id <= op_id <= self.end_id
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """The full per-iteration pattern: all tensors plus the op count."""
+
+    accesses: tuple[TensorAccess, ...]
+    num_ops: int
+
+    def __post_init__(self) -> None:
+        for access in self.accesses:
+            if access.end_id >= self.num_ops:
+                raise ConfigurationError(
+                    f"{access.name}: end_id {access.end_id} outside "
+                    f"{self.num_ops} operations"
+                )
+
+    def by_kind(self, kind: TensorKind) -> tuple[TensorAccess, ...]:
+        return tuple(a for a in self.accesses if a.kind == kind)
+
+    def live_bytes_at(self, op_id: int, kind: TensorKind | None = None) -> int:
+        """Bytes of tensors live at ``op_id`` (optionally one kind only)."""
+        return sum(
+            a.nbytes
+            for a in self.accesses
+            if a.live_at(op_id) and (kind is None or a.kind == kind)
+        )
+
+    def peak_live_bytes(self, kind: TensorKind | None = None) -> int:
+        """Maximum simultaneous live bytes over the iteration."""
+        return max(
+            (self.live_bytes_at(op, kind) for op in range(self.num_ops)),
+            default=0,
+        )

@@ -1,0 +1,125 @@
+"""Analytical cost model for compute, update and transfer times.
+
+The throughput experiments need per-operation durations. We use the
+standard dense-Transformer arithmetic: a layer's forward pass performs
+roughly ``2 * params * tokens`` FLOPs and the backward pass twice that.
+The paper's heuristic placement (Section 4.2) rests on exactly this
+asymmetry: "forward and backward computations ... are rather
+compute-intensive", while "optimizer update computations ... are composed
+of FP32 matrix addition, which is memory-intensive and takes less time".
+We therefore model forward/backward as compute-bound on the device's FLOPs
+and the Adam update as memory-bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.device import DeviceSpec
+from repro.models.transformer import LayerSpec
+
+
+#: Bytes the Adam update touches per parameter: read+write FP32 master,
+#: momentum and variance (3 * 4 * 2), read the FP16 gradient and write the
+#: FP16 parameter copy.
+ADAM_BYTES_PER_PARAM = 3 * 4 * 2 + 2 + 2
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Durations for layer computation, optimizer updates and moves.
+
+    Attributes:
+        gpu: the GPU device spec (FLOPs + HBM bandwidth).
+        cpu: the CPU device spec (FLOPs + DDR bandwidth).
+        base_efficiency: fraction of peak FLOPs a fully-loaded kernel
+            achieves (A100 transformer kernels sustain roughly half peak).
+        batch_half_point: micro-batch size at which kernels reach half of
+            ``base_efficiency``; small batches under-utilize the GPU,
+            which is the paper's fine-tuning inefficiency observation
+            (Section 3.1).
+        adam_bandwidth: effective per-rank bytes/s the CPU Adam pass
+            sustains. The default is the host's DDR bandwidth shared by
+            the server's eight ranks; baseline engines pass lower values
+            to model their extra staging copies (see deepspeed_like).
+    """
+
+    gpu: DeviceSpec
+    cpu: DeviceSpec
+    base_efficiency: float = 0.5
+    batch_half_point: float = 0.75
+    adam_bandwidth: float = 12.5e9
+
+    def __post_init__(self) -> None:
+        if not 0 < self.base_efficiency <= 1:
+            raise ConfigurationError("base_efficiency must be in (0, 1]")
+        if self.batch_half_point <= 0:
+            raise ConfigurationError("batch_half_point must be positive")
+        if self.adam_bandwidth <= 0:
+            raise ConfigurationError("adam_bandwidth must be positive")
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+    def efficiency(self, batch_size: int) -> float:
+        """Saturating kernel efficiency as micro-batch grows."""
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        return self.base_efficiency * batch_size / (batch_size + self.batch_half_point)
+
+    def layer_flops(self, layer: LayerSpec, batch_size: int, seq_len: int) -> float:
+        """Forward FLOPs of one layer for a (batch, seq) input.
+
+        For MoE layers only the routed experts do work, so we count the
+        dense-equivalent parameters actually touched per token: attention
+        weights plus ``top_k`` (=1) expert FFNs, not all experts.
+        """
+        params = layer.param_count
+        if layer.num_experts > 1:
+            expert_params = sum(
+                p.numel for p in layer.params if ".expert0." in p.name
+            )
+            params = params - layer.num_experts * expert_params + expert_params
+        return 2.0 * params * batch_size * seq_len
+
+    def forward_time(self, layer: LayerSpec, batch_size: int, seq_len: int) -> float:
+        flops = self.layer_flops(layer, batch_size, seq_len)
+        return flops / (self.gpu.compute_flops * self.efficiency(batch_size))
+
+    def backward_time(self, layer: LayerSpec, batch_size: int, seq_len: int) -> float:
+        """Backward is ~2x forward (grad w.r.t. inputs and weights)."""
+        return 2.0 * self.forward_time(layer, batch_size, seq_len)
+
+    def recompute_time(self, layer: LayerSpec, batch_size: int, seq_len: int) -> float:
+        """Re-running the forward during backward (activation recompute)."""
+        return self.forward_time(layer, batch_size, seq_len)
+
+    # ------------------------------------------------------------------
+    # Optimizer update (memory-bound)
+    # ------------------------------------------------------------------
+    def update_time(self, param_count: int, device: DeviceSpec) -> float:
+        """Adam step over ``param_count`` parameters on ``device``."""
+        if param_count < 0:
+            raise ConfigurationError("param_count must be >= 0")
+        return param_count * ADAM_BYTES_PER_PARAM / device.mem_bandwidth
+
+    def cpu_update_time(self, param_count: int) -> float:
+        """CPU Adam at the model's effective per-rank update bandwidth."""
+        if param_count < 0:
+            raise ConfigurationError("param_count must be >= 0")
+        return param_count * ADAM_BYTES_PER_PARAM / self.adam_bandwidth
+
+    def gpu_update_time(self, param_count: int) -> float:
+        return self.update_time(param_count, self.gpu)
+
+    # ------------------------------------------------------------------
+    # Tensor production times for the Tracer
+    # ------------------------------------------------------------------
+    def production_times(self, nbytes: int) -> tuple[float, float]:
+        """(cpu_time, gpu_time) to materialize a tensor of ``nbytes``.
+
+        Production is a bandwidth-bound write on either device; these feed
+        the ``cpu_time`` / ``gpu_time`` fields of the Tracer records.
+        """
+        return nbytes / self.cpu.mem_bandwidth, nbytes / self.gpu.mem_bandwidth

@@ -1,0 +1,137 @@
+"""Workload generators: allocation traces of training memory churn.
+
+The allocator ablations replay the allocate/release sequences real
+training produces. This module derives those traces from model specs
+under different execution regimes — with/without activation
+recomputation, with/without ZeRO sharding — so fragmentation behaviour
+can be studied for exactly the workload a configuration implies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory.fragmentation import TraceEvent
+from repro.models.transformer import ModelSpec
+from repro.zero.sharding import shard_bytes
+
+
+@dataclass(frozen=True)
+class WorkloadOptions:
+    """Execution regime shaping the allocation pattern.
+
+    Attributes:
+        num_iterations: training iterations to replay.
+        use_recompute: release each layer's activations at the end of its
+            forward (and re-allocate transiently during backward) instead
+            of holding them until backward.
+        num_ranks: ZeRO degree; parameter/optimizer traffic is the
+            per-rank shard when > 1.
+        offload_staging: allocate/release a staging buffer for each
+            layer's FP32 optimizer states during the update phase (the
+            hierarchical-memory offload churn).
+    """
+
+    num_iterations: int = 4
+    use_recompute: bool = True
+    num_ranks: int = 1
+    offload_staging: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_iterations <= 0:
+            raise ConfigurationError("num_iterations must be positive")
+        if self.num_ranks <= 0:
+            raise ConfigurationError("num_ranks must be positive")
+
+
+def training_trace(model: ModelSpec, options: WorkloadOptions | None = None) -> list[TraceEvent]:
+    """Allocation trace of training ``model`` under ``options``.
+
+    Per iteration: forward allocates each layer's gathered parameters and
+    activations in order; backward (reverse order) allocates gradients,
+    releases activations and parameters, optionally stages optimizer
+    state, and releases gradients — the lifetimes the Tracer derives,
+    expressed as allocator traffic.
+    """
+    options = options or WorkloadOptions()
+    ids = itertools.count()
+    events: list[TraceEvent] = []
+
+    def param_sizes(layer):
+        if options.num_ranks > 1:
+            # Gathered params are full-size; their backing traffic is the
+            # shard. The gathered buffer dominates allocator churn.
+            return [p.bytes_single for p in layer.params]
+        return [p.bytes_single for p in layer.params]
+
+    for _ in range(options.num_iterations):
+        live_params: list[list[int]] = []
+        live_acts: list[list[int]] = []
+        for layer in model.layers:
+            p_ids = [next(ids) for _ in layer.params]
+            events += [
+                TraceEvent.alloc(i, s)
+                for i, s in zip(p_ids, param_sizes(layer))
+            ]
+            a_ids = [next(ids) for _ in layer.activations]
+            events += [
+                TraceEvent.alloc(i, a.bytes_single)
+                for i, a in zip(a_ids, layer.activations)
+            ]
+            if options.use_recompute:
+                events += [TraceEvent.free(i) for i in a_ids]
+                live_acts.append([])
+            else:
+                live_acts.append(a_ids)
+            live_params.append(p_ids)
+
+        for index in reversed(range(len(model.layers))):
+            layer = model.layers[index]
+            if options.use_recompute:
+                # Recomputed activations exist transiently in backward.
+                r_ids = [next(ids) for _ in layer.activations]
+                events += [
+                    TraceEvent.alloc(i, a.bytes_single)
+                    for i, a in zip(r_ids, layer.activations)
+                ]
+            g_ids = [next(ids) for _ in layer.params]
+            events += [
+                TraceEvent.alloc(i, s)
+                for i, s in zip(g_ids, param_sizes(layer))
+            ]
+            if options.use_recompute:
+                events += [TraceEvent.free(i) for i in r_ids]
+            else:
+                events += [TraceEvent.free(i) for i in live_acts[index]]
+            events += [TraceEvent.free(i) for i in live_params[index]]
+            if options.offload_staging:
+                stage_ids = [next(ids) for _ in layer.optim_states]
+                events += [
+                    TraceEvent.alloc(
+                        i,
+                        shard_bytes(
+                            o.bytes_single * o.multiplicity, options.num_ranks
+                        ),
+                    )
+                    for i, o in zip(stage_ids, layer.optim_states)
+                ]
+                events += [TraceEvent.free(i) for i in stage_ids]
+            events += [TraceEvent.free(i) for i in g_ids]
+    return events
+
+
+def peak_live_bytes(trace: list[TraceEvent]) -> int:
+    """Allocator-independent lower bound on memory for ``trace``."""
+    live = 0
+    peak = 0
+    sizes: dict[int, int] = {}
+    for event in trace:
+        if event.op == "alloc":
+            sizes[event.req_id] = event.nbytes
+            live += event.nbytes
+            peak = max(peak, live)
+        else:
+            live -= sizes.pop(event.req_id)
+    return peak

@@ -1,0 +1,94 @@
+"""Ring-collective cost models (NCCL-style, Section 5's Communicator).
+
+Standard ring-algorithm arithmetic: moving a logical buffer of ``B`` bytes
+among ``N`` ranks costs ``B * (N - 1) / N`` bytes on the busiest link, so
+``t = B * (N - 1) / N / busbw + hops * latency``. Within one server the bus
+bandwidth is NVLink; across servers the ring crosses the per-server NIC,
+which ``gpus_per_server`` ranks share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CommunicationError
+from repro.hardware.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class CollectiveModel:
+    """Collective durations for a given cluster."""
+
+    cluster: ClusterSpec
+
+    def _participants_ok(self, num_ranks: int, nbytes: int) -> None:
+        if num_ranks <= 0:
+            raise CommunicationError("collectives need at least one rank")
+        if num_ranks > self.cluster.num_gpus:
+            raise CommunicationError(
+                f"{num_ranks} ranks exceed the cluster's {self.cluster.num_gpus} GPUs"
+            )
+        if nbytes < 0:
+            raise CommunicationError("cannot communicate a negative byte count")
+
+    def bus_bandwidth(self, num_ranks: int) -> float:
+        """Per-rank sustained bandwidth of the ring's busiest link."""
+        server = self.cluster.server
+        if num_ranks <= server.num_gpus:
+            return server.nvlink.bandwidth
+        # The ring crosses servers: each server's NIC carries the traffic
+        # of all its local ranks.
+        return min(
+            server.nvlink.bandwidth,
+            server.nic.bandwidth / server.num_gpus,
+        )
+
+    def _ring_time(self, nbytes: int, num_ranks: int, volume_factor: float) -> float:
+        self._participants_ok(num_ranks, nbytes)
+        if num_ranks == 1 or nbytes == 0:
+            return 0.0
+        server = self.cluster.server
+        latency = server.nvlink.latency
+        if num_ranks > server.num_gpus:
+            latency = server.nic.latency
+        traffic = volume_factor * nbytes * (num_ranks - 1) / num_ranks
+        return traffic / self.bus_bandwidth(num_ranks) + (num_ranks - 1) * latency
+
+    def all_gather(self, nbytes: int, num_ranks: int) -> float:
+        """Assemble a sharded buffer of total size ``nbytes`` on every rank."""
+        return self._ring_time(nbytes, num_ranks, volume_factor=1.0)
+
+    def reduce_scatter(self, nbytes: int, num_ranks: int) -> float:
+        """Reduce a replicated buffer and leave each rank its shard."""
+        return self._ring_time(nbytes, num_ranks, volume_factor=1.0)
+
+    def all_reduce(self, nbytes: int, num_ranks: int) -> float:
+        """Reduce-scatter followed by all-gather: twice the ring traffic."""
+        return self._ring_time(nbytes, num_ranks, volume_factor=2.0)
+
+    def all_to_all(self, nbytes_per_rank: int, num_ranks: int) -> float:
+        """Every rank exchanges ``nbytes_per_rank`` with all peers.
+
+        Used by expert parallelism (Section 6.4): tokens are routed to the
+        GPUs that own their experts. Each rank keeps 1/N of its traffic
+        local, so the wire carries ``(N-1)/N`` of it; across servers it is
+        NIC-bound, which is why T5-MoE scalability falls below GPT's
+        ("more input data will be fed into the all-to-all communication of
+        the MoE layer, which can result in throughput degradation").
+        """
+        self._participants_ok(num_ranks, nbytes_per_rank)
+        if num_ranks == 1 or nbytes_per_rank == 0:
+            return 0.0
+        server = self.cluster.server
+        wire_bytes = nbytes_per_rank * (num_ranks - 1) / num_ranks
+        if num_ranks <= server.num_gpus:
+            return wire_bytes / server.nvlink.bandwidth + server.nvlink.latency
+        # Cross-server all-to-all: the fraction of each rank's traffic that
+        # leaves the server shares the per-server NIC with the other local
+        # ranks.
+        local = server.num_gpus / num_ranks
+        remote_bytes = wire_bytes * (1.0 - local)
+        nic_per_rank = server.nic.bandwidth / server.num_gpus
+        local_time = wire_bytes * local / server.nvlink.bandwidth
+        remote_time = remote_bytes / nic_per_rank
+        return local_time + remote_time + server.nic.latency

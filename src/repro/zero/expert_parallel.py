@@ -1,0 +1,67 @@
+"""Expert parallelism for MoE models (Section 6.4).
+
+"Angel-PTM trained T5-MoE models using expert parallelism, where expert
+parameters within an MoE layer are sharded among all GPUs while non-MoE
+parameters are duplicated." Token routing incurs two all-to-all exchanges
+per MoE layer (dispatch to the owning GPUs, combine back) in both the
+forward and backward passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShardingError
+from repro.models.moe import MoEConfig
+from repro.models.transformer import FP16
+from repro.zero.collectives import CollectiveModel
+
+
+@dataclass(frozen=True)
+class ExpertParallelPlan:
+    """Placement and communication plan for one MoE model."""
+
+    moe: MoEConfig
+    num_gpus: int
+    num_moe_layers: int
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise ShardingError("num_gpus must be positive")
+        if self.moe.num_experts % self.num_gpus:
+            raise ShardingError(
+                f"{self.moe.num_experts} experts do not shard evenly over "
+                f"{self.num_gpus} GPUs"
+            )
+
+    @property
+    def experts_per_gpu(self) -> int:
+        return self.moe.num_experts // self.num_gpus
+
+    @property
+    def expert_params_per_gpu(self) -> int:
+        """Expert parameters hosted by one GPU across all MoE layers."""
+        return self.experts_per_gpu * self.moe.expert_param_count * self.num_moe_layers
+
+    def dispatch_bytes_per_rank(self, batch_size: int, seq_len: int) -> int:
+        """Bytes one rank contributes to a single all-to-all dispatch.
+
+        Capacity-factor-1 top-k routing sends each token's hidden state to
+        ``top_k`` experts.
+        """
+        if batch_size <= 0 or seq_len <= 0:
+            raise ShardingError("batch and sequence sizes must be positive")
+        return batch_size * seq_len * self.moe.d_model * FP16 * self.moe.top_k
+
+    def alltoall_time_per_layer(
+        self, collectives: CollectiveModel, batch_size: int, seq_len: int
+    ) -> float:
+        """All-to-all time of one MoE layer's forward pass.
+
+        Two exchanges (dispatch + combine) per forward; the backward pass
+        repeats them for the gradients, which callers account by invoking
+        this twice.
+        """
+        nbytes = self.dispatch_bytes_per_rank(batch_size, seq_len)
+        single = collectives.all_to_all(nbytes, self.num_gpus)
+        return 2.0 * single

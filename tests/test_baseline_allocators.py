@@ -1,0 +1,179 @@
+"""Baseline allocators: BFC, caching (PyTorch-like), chunk (PatrickStar)."""
+
+import pytest
+
+from repro.errors import AllocationError, OutOfMemoryError
+from repro.memory.bfc import BfcAllocator
+from repro.memory.caching import CachingAllocator
+from repro.memory.chunk import ChunkAllocator
+from repro.memory.fragmentation import TraceEvent, replay
+from repro.units import KiB, MiB
+
+
+class TestBfc:
+    def test_best_fit_picks_smallest_block(self):
+        bfc = BfcAllocator(10 * KiB, alignment=256)
+        a = bfc.alloc(1, 4 * KiB)
+        b = bfc.alloc(2, 2 * KiB)
+        bfc.alloc(3, 4 * KiB)
+        bfc.free(1)  # hole of 4K at offset 0
+        bfc.free(2)  # hole of 2K after it -> coalesce to 6K at 0
+        # A 1K request best-fits into the coalesced 6K block head.
+        offset = bfc.alloc(4, 1 * KiB)
+        assert offset == 0
+
+    def test_coalesce_both_neighbours(self):
+        bfc = BfcAllocator(3 * KiB, alignment=256)
+        bfc.alloc(1, KiB)
+        bfc.alloc(2, KiB)
+        bfc.alloc(3, KiB)
+        bfc.free(1)
+        bfc.free(3)
+        bfc.free(2)  # should merge all three into one block
+        assert bfc.largest_free_block == 3 * KiB
+        assert bfc.external_fragmentation() == 0.0
+
+    def test_external_fragmentation_metric(self):
+        bfc = BfcAllocator(4 * KiB, alignment=256)
+        ids = [bfc.alloc(i, KiB) for i in range(4)]
+        bfc.free(0)
+        bfc.free(2)  # two non-adjacent 1K holes
+        assert bfc.external_fragmentation() == pytest.approx(0.5)
+
+    def test_oom_when_no_block_fits(self):
+        bfc = BfcAllocator(4 * KiB, alignment=256)
+        bfc.alloc(1, KiB)
+        bfc.alloc(2, KiB)
+        bfc.alloc(3, KiB)
+        bfc.free(2)  # 1K hole + 1K tail, but not contiguous
+        with pytest.raises(OutOfMemoryError):
+            bfc.alloc(4, 2 * KiB)
+
+    def test_alignment_rounding(self):
+        bfc = BfcAllocator(KiB, alignment=256)
+        bfc.alloc(1, 100)
+        assert bfc.reserved_bytes == 256
+
+    def test_double_alloc_same_id_rejected(self):
+        bfc = BfcAllocator(KiB)
+        bfc.alloc(1, 100)
+        with pytest.raises(AllocationError):
+            bfc.alloc(1, 100)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(AllocationError):
+            BfcAllocator(KiB).free(9)
+
+
+class TestCaching:
+    def test_reuses_cached_block_of_same_size(self):
+        caching = CachingAllocator(MiB)
+        caching.alloc(1, 100 * KiB)
+        caching.free(1)
+        caching.alloc(2, 100 * KiB)
+        assert caching.reserved_bytes == 100 * KiB + (100 * KiB % 512)
+
+    def test_small_block_handed_out_whole(self):
+        """Sub-split-threshold reuse wastes the block remainder."""
+        caching = CachingAllocator(MiB)
+        caching.alloc(1, 64 * KiB)
+        caching.free(1)
+        caching.alloc(2, KiB)  # gets the whole 64K block
+        assert caching.reserved_bytes == 64 * KiB
+
+    def test_large_block_splits(self):
+        caching = CachingAllocator(16 * MiB)
+        caching.alloc(1, 8 * MiB)
+        caching.free(1)
+        caching.alloc(2, 2 * MiB)
+        # Remainder returns to cache: still 8 MiB reserved, 6 MiB cached.
+        assert caching.reserved_bytes == 8 * MiB
+        assert caching.cached_bytes == 6 * MiB
+
+    def test_cache_flush_on_pressure(self):
+        """cudaMalloc-failure path: cache is dropped and retried."""
+        caching = CachingAllocator(MiB)
+        caching.alloc(1, 600 * KiB)
+        caching.free(1)
+        caching.alloc(2, 800 * KiB)  # doesn't fit alongside the cache
+        assert caching.reserved_bytes == 800 * KiB
+        assert caching.cached_bytes == 0
+
+    def test_oom_beyond_capacity(self):
+        caching = CachingAllocator(MiB)
+        with pytest.raises(OutOfMemoryError):
+            caching.alloc(1, 2 * MiB)
+
+    def test_fragmentation_grows_with_mixed_sizes(self):
+        caching = CachingAllocator(64 * MiB)
+        for i, size in enumerate([3 * KiB, 700 * KiB, 13 * KiB, 300 * KiB]):
+            caching.alloc(i, size)
+        for i in range(4):
+            caching.free(i)
+        assert caching.fragmentation() == pytest.approx(1.0)
+
+
+class TestChunk:
+    def test_tensor_larger_than_chunk_rejected(self):
+        chunk = ChunkAllocator(8 * MiB, chunk_bytes=MiB)
+        with pytest.raises(AllocationError):
+            chunk.alloc(1, 2 * MiB)
+
+    def test_append_only_packing(self):
+        chunk = ChunkAllocator(8 * MiB, chunk_bytes=MiB)
+        chunk.alloc(1, 400 * KiB)
+        chunk.alloc(2, 400 * KiB)
+        assert chunk.reserved_bytes == MiB  # both in one chunk
+        chunk.alloc(3, 400 * KiB)  # doesn't fit the tail -> new chunk
+        assert chunk.reserved_bytes == 2 * MiB
+
+    def test_freed_space_unavailable_until_chunk_empties(self):
+        """The intra-chunk fragmentation the paper criticizes."""
+        chunk = ChunkAllocator(2 * MiB, chunk_bytes=MiB)
+        chunk.alloc(1, 600 * KiB)
+        chunk.alloc(2, 300 * KiB)
+        chunk.free(1)  # 600K freed but NOT reusable
+        assert chunk.intra_chunk_fragmentation() == pytest.approx(
+            1 - 300 / 1024, rel=1e-3
+        )
+        chunk.alloc(3, 600 * KiB)  # must open the second chunk
+        assert chunk.reserved_bytes == 2 * MiB
+
+    def test_empty_chunk_recycles(self):
+        chunk = ChunkAllocator(2 * MiB, chunk_bytes=MiB)
+        chunk.alloc(1, 900 * KiB)
+        chunk.free(1)
+        chunk.alloc(2, 900 * KiB)
+        assert chunk.reserved_bytes == MiB
+
+    def test_oom_at_chunk_budget(self):
+        chunk = ChunkAllocator(MiB, chunk_bytes=MiB)
+        chunk.alloc(1, 900 * KiB)
+        with pytest.raises(OutOfMemoryError):
+            chunk.alloc(2, 900 * KiB)
+
+
+class TestReplayHarness:
+    def test_replay_records_peaks(self):
+        bfc = BfcAllocator(MiB)
+        trace = [
+            TraceEvent.alloc(1, 100 * KiB),
+            TraceEvent.alloc(2, 200 * KiB),
+            TraceEvent.free(1),
+            TraceEvent.alloc(3, 50 * KiB),
+        ]
+        stats = replay(bfc, trace)
+        assert stats.peak_live_bytes == 300 * KiB
+        assert stats.failed_at is None
+        assert stats.overhead_ratio >= 1.0
+
+    def test_replay_stops_at_first_failure(self):
+        bfc = BfcAllocator(100 * KiB)
+        trace = [
+            TraceEvent.alloc(1, 60 * KiB),
+            TraceEvent.alloc(2, 60 * KiB),
+            TraceEvent.alloc(3, 10 * KiB),
+        ]
+        stats = replay(bfc, trace)
+        assert stats.failed_at == 1
+        assert stats.events_replayed == 1

@@ -1,0 +1,221 @@
+"""Checkpointing, crash recovery and elastic re-sharding (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    ShardedCheckpoint,
+    Snapshot,
+    capture_engine_state,
+    capture_training_state,
+    load_snapshot,
+    reshard,
+    restore_engine_state,
+    restore_training_state,
+    save_snapshot,
+)
+from repro.checkpoint.reshard import merge_shards, split_even
+from repro.engine import AngelConfig, initialize
+from repro.errors import CheckpointError, ShardingError
+from repro.nn import MixedPrecisionAdam, TinyTransformerLM, cross_entropy, lm_synthetic_batches
+from repro.units import KiB, MiB
+
+
+def tiny_model(seed=0):
+    return TinyTransformerLM(
+        vocab_size=16, d_model=16, d_ffn=32, num_heads=2, num_layers=2,
+        max_seq=8, seed=seed,
+    )
+
+
+def train_steps(model, optimizer, batches):
+    losses = []
+    for batch in batches:
+        loss = cross_entropy(model(batch.inputs, True), batch.targets)
+        model.zero_grad()
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+    return losses
+
+
+class TestSnapshotIO:
+    def test_roundtrip(self, tmp_path):
+        snapshot = Snapshot(metadata={"step": 7})
+        snapshot.add_array("w", np.arange(12, dtype=np.float32).reshape(3, 4))
+        path = str(tmp_path / "ckpt.npz")
+        save_snapshot(snapshot, path)
+        loaded = load_snapshot(path)
+        assert loaded.metadata["step"] == 7
+        np.testing.assert_array_equal(loaded.arrays["w"], snapshot.arrays["w"])
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_snapshot(str(tmp_path / "nope.npz"))
+
+    def test_corruption_detected(self, tmp_path):
+        snapshot = Snapshot()
+        snapshot.add_array("w", np.ones(64, dtype=np.float32))
+        path = str(tmp_path / "ckpt.npz")
+        save_snapshot(snapshot, path)
+        # Flip bytes in the middle of the file.
+        with open(path, "r+b") as handle:
+            handle.seek(400)
+            handle.write(b"\xff" * 16)
+        with pytest.raises(CheckpointError):
+            load_snapshot(path)
+
+    def test_duplicate_array_name_rejected(self):
+        snapshot = Snapshot()
+        snapshot.add_array("w", np.ones(2))
+        with pytest.raises(CheckpointError):
+            snapshot.add_array("w", np.ones(2))
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, w=np.ones(2))
+        with pytest.raises(CheckpointError):
+            load_snapshot(path)
+
+
+class TestCrashRecovery:
+    def test_resume_is_bitwise_identical(self, tmp_path):
+        """Train 10 steps; vs train 5, checkpoint, 'crash', restore, 5."""
+        batches = list(lm_synthetic_batches(16, 8, 4, 10, seed=2))
+
+        straight = tiny_model(seed=1)
+        opt_straight = MixedPrecisionAdam(straight.parameters(), lr=1e-3)
+        train_steps(straight, opt_straight, batches)
+
+        first = tiny_model(seed=1)
+        opt_first = MixedPrecisionAdam(first.parameters(), lr=1e-3)
+        train_steps(first, opt_first, batches[:5])
+        path = str(tmp_path / "ckpt.npz")
+        save_snapshot(capture_training_state(first, opt_first, step=5), path)
+
+        resumed = tiny_model(seed=99)  # different init: must be overwritten
+        opt_resumed = MixedPrecisionAdam(resumed.parameters(), lr=1e-3)
+        step = restore_training_state(load_snapshot(path), resumed, opt_resumed)
+        assert step == 5
+        losses = train_steps(resumed, opt_resumed, batches[5:])
+        assert losses  # the run continued
+
+        for (name, a), (_, b) in zip(
+            straight.named_parameters(), resumed.named_parameters()
+        ):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+        for m_a, m_b in zip(opt_straight.m, opt_resumed.m):
+            np.testing.assert_array_equal(m_a, m_b)
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        model = tiny_model()
+        opt = MixedPrecisionAdam(model.parameters())
+        snapshot = capture_training_state(model, opt)
+        other = TinyTransformerLM(
+            vocab_size=16, d_model=16, d_ffn=32, num_heads=2, num_layers=3,
+            max_seq=8,
+        )
+        with pytest.raises(CheckpointError):
+            restore_training_state(
+                snapshot, other, MixedPrecisionAdam(other.parameters())
+            )
+
+
+class TestEngineCheckpoint:
+    def _engine(self, seed=1):
+        model = tiny_model(seed=seed)
+        opt = MixedPrecisionAdam(model.parameters(), lr=1e-3)
+        config = AngelConfig(
+            gpu_memory_bytes=2 * MiB, cpu_memory_bytes=16 * MiB,
+            ssd_bytes=16 * MiB, page_bytes=64 * KiB,
+        )
+        return initialize(model, opt, config)
+
+    def test_engine_resume_matches(self):
+        batches = list(lm_synthetic_batches(16, 8, 4, 8, seed=3))
+
+        straight = self._engine()
+        for batch in batches:
+            loss = straight(batch)
+            straight.backward(loss)
+            straight.step()
+
+        first = self._engine()
+        for batch in batches[:4]:
+            loss = first(batch)
+            first.backward(loss)
+            first.step()
+        snapshot = capture_engine_state(first, step=4)
+        first.close()
+
+        resumed = self._engine(seed=42)
+        assert restore_engine_state(snapshot, resumed) == 4
+        for batch in batches[4:]:
+            loss = resumed(batch)
+            resumed.backward(loss)
+            resumed.step()
+
+        for a, b in zip(straight._managed, resumed._managed):
+            np.testing.assert_array_equal(
+                a.master.read_array(), b.master.read_array(), err_msg=a.name
+            )
+        straight.close()
+        resumed.close()
+
+
+class TestReshard:
+    def test_split_and_merge_roundtrip(self):
+        array = np.arange(10, dtype=np.float32)
+        shards = split_even(array, 3)
+        assert len(shards) == 3
+        assert all(s.size == 4 for s in shards)  # padded to ceil(10/3)
+        np.testing.assert_array_equal(merge_shards(shards, 10), array)
+
+    def test_reshard_exact_across_rank_counts(self):
+        state = {
+            "master": np.random.default_rng(0).standard_normal(37).astype(np.float32),
+            "m": np.random.default_rng(1).standard_normal(37).astype(np.float32),
+        }
+        for src, dst in [(8, 2), (2, 8), (3, 5), (7, 1)]:
+            sharded = ShardedCheckpoint.from_full_state(state, src)
+            moved = reshard(sharded, dst)
+            assert moved.num_ranks == dst
+            restored = moved.to_full_state()
+            for name in state:
+                np.testing.assert_array_equal(restored[name], state[name])
+
+    def test_rank_state_covers_everything_once(self):
+        state = {"w": np.arange(16, dtype=np.float32)}
+        sharded = ShardedCheckpoint.from_full_state(state, 4)
+        rebuilt = np.concatenate([sharded.rank_state(r)["w"] for r in range(4)])
+        np.testing.assert_array_equal(rebuilt[:16], state["w"])
+
+    def test_bad_rank_rejected(self):
+        sharded = ShardedCheckpoint.from_full_state({"w": np.ones(4)}, 2)
+        with pytest.raises(ShardingError):
+            sharded.rank_state(2)
+
+    @pytest.mark.parametrize("src,dst", [(2, 4), (4, 2), (2, 1)])
+    def test_elastic_rescale_training(self, src, dst):
+        """Pause on K ranks, rescale to N, resume: exactly equivalent."""
+        from repro.dp import ZeroDataParallelTrainer
+
+        def factory():
+            return tiny_model(seed=7)
+
+        batches = list(lm_synthetic_batches(16, 8, 8, 6, seed=5))
+
+        straight = ZeroDataParallelTrainer(factory, num_ranks=src, lr=1e-3)
+        for batch in batches:
+            straight.train_step(batch)
+
+        paused = ZeroDataParallelTrainer(factory, num_ranks=src, lr=1e-3)
+        for batch in batches[:3]:
+            paused.train_step(batch)
+        resumed = ZeroDataParallelTrainer.rescale(paused, factory, dst)
+        assert resumed.num_ranks == dst
+        for batch in batches[3:]:
+            resumed.train_step(batch)
+
+        for a, b in zip(straight._params[0], resumed._params[0]):
+            np.testing.assert_allclose(a.data, b.data, atol=1e-6)

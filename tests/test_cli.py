@@ -1,0 +1,49 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_models_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt3-175b" in out and "t5-moe-1.2t" in out
+
+    def test_plan_reports_both_systems(self, capsys):
+        assert main(["plan", "--model", "gpt3-28b", "--servers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "deepspeed" in out and "angel-ptm" in out
+        assert "max depth" in out
+
+    def test_simulate_reports_throughput(self, capsys):
+        assert main([
+            "simulate", "--model", "gpt3-1.7b", "--batch", "2", "--servers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "samples/s" in out and "GPU busy" in out
+
+    def test_simulate_lock_free_reports_staleness(self, capsys):
+        assert main([
+            "simulate", "--model", "gpt3-55b", "--batch", "1",
+            "--ssd", "--lock-free",
+        ]) == 0
+        assert "staleness" in capsys.readouterr().out
+
+    def test_train_runs(self, capsys):
+        assert main(["train", "--steps", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "final loss" in out
+
+    def test_experiment_dispatch(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_experiment_unknown_name(self, capsys):
+        assert main(["experiment", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

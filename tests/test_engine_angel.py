@@ -1,0 +1,224 @@
+"""Functional Angel engine: the Figure 6 API over paged memory tiers."""
+
+import numpy as np
+import pytest
+
+from repro.engine import AngelConfig, initialize
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.hardware.device import DeviceKind
+from repro.nn import Adam, MixedPrecisionAdam, TinyTransformerLM, lm_synthetic_batches
+from repro.units import KiB, MiB
+
+
+def tiny_model(seed=1, num_layers=2):
+    return TinyTransformerLM(
+        vocab_size=16, d_model=16, d_ffn=32, num_heads=2, num_layers=num_layers,
+        max_seq=8, seed=seed,
+    )
+
+
+def make_engine(model=None, **config_kwargs):
+    model = model or tiny_model()
+    opt = MixedPrecisionAdam(model.parameters(), lr=2e-3)
+    defaults = dict(
+        gpu_memory_bytes=2 * MiB,
+        cpu_memory_bytes=16 * MiB,
+        page_bytes=32 * KiB,
+    )
+    defaults.update(config_kwargs)
+    return initialize(model, opt, AngelConfig(**defaults))
+
+
+class TestInitialize:
+    def test_requires_mixed_precision_adam(self):
+        model = tiny_model()
+        with pytest.raises(ConfigurationError):
+            initialize(model, Adam(model.parameters()), AngelConfig())
+
+    def test_states_placed_on_cpu_without_ssd(self):
+        with make_engine() as engine:
+            report = engine.memory_report()
+            assert "ssd" not in report
+            assert report["cpu"]["pages_in_use"] > 0
+
+    def test_states_placed_on_ssd_when_enabled(self):
+        with make_engine(ssd_bytes=16 * MiB) as engine:
+            managed = engine._managed[0]
+            assert managed.master.device_kind == DeviceKind.SSD
+            assert managed.moment1.device_kind == DeviceKind.SSD
+            # FP16 buffered params stay in CPU memory (Algorithm 2).
+            assert managed.fp16.device_kind == DeviceKind.CPU
+
+    def test_lock_free_needs_interval(self):
+        with pytest.raises(ConfigurationError):
+            AngelConfig(lock_free=True, update_interval=1)
+
+
+class TestTrainingLoop:
+    def test_figure6_loop_learns(self):
+        with make_engine() as engine:
+            losses = []
+            for batch in lm_synthetic_batches(16, 8, 8, 80, seed=2):
+                loss = engine(batch)
+                engine.backward(loss)
+                engine.step()
+                losses.append(loss.item())
+            assert np.mean(losses[-8:]) < np.mean(losses[:8]) - 0.2
+
+    def test_pages_are_authoritative_for_master_state(self):
+        """After a step, the paged FP32 master equals the optimizer's."""
+        with make_engine() as engine:
+            for batch in lm_synthetic_batches(16, 8, 4, 3, seed=3):
+                loss = engine(batch)
+                engine.backward(loss)
+                engine.step()
+            for managed in engine._managed:
+                np.testing.assert_array_equal(
+                    managed.master.read_array(),
+                    engine.optimizer.master[managed.index],
+                )
+                np.testing.assert_array_equal(
+                    managed.fp16.read_array().astype(np.float32),
+                    managed.param.data,
+                )
+
+    def test_parameters_move_to_gpu_on_forward(self):
+        with make_engine() as engine:
+            batch = next(lm_synthetic_batches(16, 8, 4, 1, seed=4))
+            engine(batch)
+            report = engine.memory_report()
+            assert report["gpu"]["pages_in_use"] > 0
+
+    def test_eviction_under_tight_gpu_pool(self):
+        """A GPU pool smaller than the model forces LRU eviction."""
+        model = tiny_model(num_layers=4)
+        with make_engine(model=model, gpu_memory_bytes=256 * KiB) as engine:
+            for batch in lm_synthetic_batches(16, 8, 4, 2, seed=5):
+                loss = engine(batch)
+                engine.backward(loss)
+                engine.step()
+            gpu = engine.allocator.pool(DeviceKind.GPU)
+            # The pool never exceeded capacity and something was evicted
+            # back to CPU at some point.
+            assert gpu.peak_in_use <= gpu.num_pages
+            on_cpu = [
+                m for m in engine._managed
+                if m.fp16.device_kind == DeviceKind.CPU
+            ]
+            assert on_cpu
+
+    def test_oom_when_single_module_exceeds_gpu(self):
+        """A one-page GPU pool cannot pin a two-parameter module."""
+        model = tiny_model()
+        with pytest.raises(OutOfMemoryError):
+            engine = make_engine(model=model, gpu_memory_bytes=32 * KiB)
+            batch = next(lm_synthetic_batches(16, 8, 4, 1, seed=6))
+            engine(batch)
+
+    def test_lock_free_defers_updates(self):
+        with make_engine(lock_free=True, update_interval=3) as engine:
+            batches = list(lm_synthetic_batches(16, 8, 4, 3, seed=7))
+            ran = []
+            for batch in batches:
+                loss = engine(batch)
+                engine.backward(loss)
+                ran.append(engine.step())
+            assert ran == [False, False, True]
+
+    def test_lock_free_still_learns(self):
+        with make_engine(lock_free=True, update_interval=2) as engine:
+            losses = []
+            for batch in lm_synthetic_batches(16, 8, 8, 80, seed=8):
+                loss = engine(batch)
+                engine.backward(loss)
+                engine.step()
+                losses.append(loss.item())
+            assert np.mean(losses[-8:]) < np.mean(losses[:8]) - 0.2
+
+
+class TestIntrospection:
+    def test_access_trace_orders_like_forward(self):
+        with make_engine() as engine:
+            batch = next(lm_synthetic_batches(16, 8, 4, 1, seed=9))
+            engine(batch)
+            trace = engine.access_trace()
+            assert trace
+            by_name = {name: (first, last) for name, first, last in trace}
+            # The embedding is touched before the head.
+            assert by_name["embed.weight"][0] < by_name["head.weight"][0]
+            for name, first, last in trace:
+                assert 0 < first <= last
+
+    def test_memory_report_shape(self):
+        with make_engine(ssd_bytes=8 * MiB) as engine:
+            report = engine.memory_report()
+            assert set(report) == {"gpu", "cpu", "ssd"}
+            for tier in report.values():
+                assert set(tier) == {
+                    "pages_in_use", "used_bytes", "free_bytes", "peak_pages",
+                }
+
+
+class TestAngelConfigValidation:
+    def test_update_interval_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            AngelConfig(update_interval=0)
+
+    def test_sync_mode_allows_interval_one(self):
+        config = AngelConfig(lock_free=False, update_interval=1)
+        assert not config.lock_free
+
+    def test_optimizer_parameter_mismatch_rejected(self):
+        model = tiny_model()
+        other = tiny_model(num_layers=4)
+        opt = MixedPrecisionAdam(other.parameters())
+        with pytest.raises(ConfigurationError):
+            initialize(model, opt, AngelConfig(
+                gpu_memory_bytes=2 * MiB, cpu_memory_bytes=16 * MiB,
+                page_bytes=32 * KiB,
+            ))
+
+
+class TestTracerInformedPrefetch:
+    def test_prefetch_hits_after_first_iteration(self):
+        """Iteration 1 records the access pattern; from iteration 2 the
+        engine stages the next module ahead of its use."""
+        with make_engine(gpu_memory_bytes=4 * MiB) as engine:
+            batches = list(lm_synthetic_batches(16, 8, 4, 4, seed=30))
+            for batch in batches[:1]:
+                loss = engine(batch)
+                engine.backward(loss)
+                engine.step()
+            assert engine._order_recorded
+            warm_hits = engine.prefetch_hits
+            for batch in batches[1:]:
+                loss = engine(batch)
+                engine.backward(loss)
+                engine.step()
+            # Later iterations find parameters already resident.
+            assert engine.prefetch_hits > warm_hits
+
+    def test_prefetch_never_evicts(self):
+        """Under a tiny pool, prefetch is best-effort and the demand path
+        still works (training keeps learning)."""
+        model = tiny_model(num_layers=4)
+        with make_engine(model=model, gpu_memory_bytes=256 * KiB) as engine:
+            losses = []
+            for batch in lm_synthetic_batches(16, 8, 8, 40, seed=31):
+                loss = engine(batch)
+                engine.backward(loss)
+                engine.step()
+                losses.append(loss.item())
+            assert engine.demand_fetches > 0
+            assert np.mean(losses[-4:]) < np.mean(losses[:4])
+
+    def test_roomy_pool_mostly_hits(self):
+        """With everything resident, steady-state accesses are all hits."""
+        with make_engine(gpu_memory_bytes=8 * MiB) as engine:
+            batches = list(lm_synthetic_batches(16, 8, 4, 5, seed=32))
+            for batch in batches:
+                loss = engine(batch)
+                engine.backward(loss)
+                engine.step()
+            # After warm-up every parameter stays on the GPU pool.
+            assert engine.prefetch_hits > engine.demand_fetches

@@ -1,0 +1,101 @@
+"""Error hierarchy, auto-batch simulation, MoE engine details."""
+
+import pytest
+
+from repro import errors
+from repro.engine.moe import MoESimEngine
+from repro.hardware.cluster import a100_cluster
+from repro.models import get_model
+from repro.models.moe import MoEConfig
+from repro.scheduler.unified import UnifiedScheduler
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        subclasses = [
+            errors.ConfigurationError,
+            errors.OutOfMemoryError,
+            errors.AllocationError,
+            errors.PageStateError,
+            errors.TensorStateError,
+            errors.SchedulingError,
+            errors.SimulationError,
+            errors.CommunicationError,
+            errors.ShardingError,
+            errors.GradientError,
+            errors.CheckpointError,
+        ]
+        for cls in subclasses:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_oom_carries_accounting(self):
+        err = errors.OutOfMemoryError("gpu0", requested_bytes=100, available_bytes=40)
+        assert err.device == "gpu0"
+        assert err.requested_bytes == 100
+        assert err.available_bytes == 40
+        assert "gpu0" in str(err) and "100" in str(err)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SchedulingError("nope")
+
+
+class TestAutoBatch:
+    def test_simulate_none_batch_uses_planner_maximum(self):
+        from repro.engine.planner import CapacityPlanner
+
+        cluster = a100_cluster(1)
+        scheduler = UnifiedScheduler(cluster)
+        config = get_model("gpt3-13b")
+        result = scheduler.simulate(config, micro_batch=None)
+        expected = CapacityPlanner(cluster, cost_model=scheduler.cost).max_micro_batch(
+            config, "angel-ptm"
+        )
+        assert result.plan.micro_batch == expected
+
+    def test_auto_batch_beats_batch_one(self):
+        scheduler = UnifiedScheduler(a100_cluster(1))
+        config = get_model("gpt3-13b")
+        auto = scheduler.simulate(config, micro_batch=None)
+        one = scheduler.simulate(config, micro_batch=1)
+        assert auto.samples_per_second > one.samples_per_second
+
+
+class TestMoEEngineDetails:
+    def _engine(self, servers=8):
+        return MoESimEngine(a100_cluster(servers))
+
+    def test_ssd_slows_sync_iteration(self):
+        moe = MoEConfig(d_model=1024, d_ffn=16384, num_experts=2304)
+        engine = self._engine()
+        plain = engine.simulate(moe, 16, micro_batch=8)
+        with_ssd = engine.simulate(moe, 16, micro_batch=8, use_ssd=True)
+        assert with_ssd.iteration_time > plain.iteration_time
+
+    def test_lock_free_without_ssd_changes_little(self):
+        """Without SSD the update path is short; lock-free gains less
+        than it does with SSD (the paper's motivation is SSD-specific)."""
+        moe = MoEConfig(d_model=1024, d_ffn=16384, num_experts=2304)
+        engine = self._engine()
+        sync_plain = engine.simulate(moe, 16, micro_batch=8)
+        lf_plain = engine.simulate(moe, 16, micro_batch=8, lock_free=True)
+        sync_ssd = engine.simulate(moe, 16, micro_batch=8, use_ssd=True)
+        lf_ssd = engine.simulate(moe, 16, micro_batch=8, use_ssd=True, lock_free=True)
+        gain_plain = lf_plain.samples_per_second / sync_plain.samples_per_second
+        gain_ssd = lf_ssd.samples_per_second / sync_ssd.samples_per_second
+        assert gain_ssd > gain_plain
+
+    def test_total_params_scale_with_experts(self):
+        small = MoEConfig(d_model=256, d_ffn=512, num_experts=64)
+        large = MoEConfig(d_model=256, d_ffn=512, num_experts=128)
+        engine = self._engine(servers=8)
+        a = engine.simulate(small, 4, micro_batch=4)
+        b = engine.simulate(large, 4, micro_batch=4)
+        assert b.total_params > 1.9 * a.total_params
+
+    def test_requires_positive_layers(self):
+        from repro.errors import ConfigurationError
+
+        moe = MoEConfig(d_model=64, d_ffn=128, num_experts=64)
+        with pytest.raises(ConfigurationError):
+            self._engine().simulate(moe, 0, micro_batch=1)

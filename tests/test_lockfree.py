@@ -1,0 +1,157 @@
+"""Lock-free updating mechanism: buffers, staleness loop, threaded trainer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GradientError
+from repro.lockfree import GradientBuffers, LockFreeTrainer, StalenessLoop
+from repro.nn import MixedPrecisionAdam, Tensor, TinyTransformerLM, lm_synthetic_batches
+
+
+def tiny_model(seed=0, num_experts=0):
+    return TinyTransformerLM(
+        vocab_size=16, d_model=16, d_ffn=32, num_heads=2, num_layers=2,
+        max_seq=8, num_experts=num_experts, seed=seed,
+    )
+
+
+class TestGradientBuffers:
+    def _params(self):
+        return [
+            Tensor(np.zeros(4, dtype=np.float32), requires_grad=True),
+            Tensor(np.zeros((2, 2), dtype=np.float32), requires_grad=True),
+        ]
+
+    def test_accumulate_and_drain(self):
+        params = self._params()
+        buffers = GradientBuffers(params)
+        buffers.accumulate(0, np.ones(4, dtype=np.float32))
+        buffers.accumulate(0, np.ones(4, dtype=np.float32))
+        grad, count = buffers.drain(0)
+        np.testing.assert_allclose(grad, 2.0)
+        assert count == 2
+        assert buffers.pending(0) == 0
+
+    def test_drain_clears_buffer(self):
+        params = self._params()
+        buffers = GradientBuffers(params)
+        buffers.accumulate(0, np.ones(4, dtype=np.float32))
+        buffers.drain(0)
+        grad, count = buffers.drain(0)
+        assert count == 0
+        np.testing.assert_allclose(grad, 0.0)
+
+    def test_has_uncleared_tracks_pending(self):
+        params = self._params()
+        buffers = GradientBuffers(params)
+        assert not buffers.has_uncleared
+        buffers.accumulate(1, np.ones((2, 2), dtype=np.float32))
+        assert buffers.has_uncleared
+        buffers.drain(1)
+        assert not buffers.has_uncleared
+
+    def test_shape_mismatch_rejected(self):
+        buffers = GradientBuffers(self._params())
+        with pytest.raises(GradientError):
+            buffers.accumulate(0, np.ones(5, dtype=np.float32))
+
+    def test_accumulate_all_skips_missing_grads(self):
+        params = self._params()
+        params[0].grad = np.ones(4, dtype=np.float32)
+        buffers = GradientBuffers(params)
+        buffers.accumulate_all(params)
+        assert buffers.pending(0) == 1
+        assert buffers.pending(1) == 0
+
+    def test_fp16_rounding_in_buffer(self):
+        params = [Tensor(np.zeros(1, dtype=np.float32), requires_grad=True)]
+        buffers = GradientBuffers(params)
+        buffers.accumulate(0, np.array([1.0], dtype=np.float32))
+        buffers.accumulate(0, np.array([2**-13], dtype=np.float32))
+        grad, _ = buffers.drain(0)
+        # 1 + 2^-13 rounds back to 1 in half precision.
+        assert grad[0] == np.float32(1.0)
+
+
+class TestStalenessLoop:
+    def test_interval_one_equals_synchronous_reference(self):
+        """k=1 must match a plain train loop step for step."""
+        batches = list(lm_synthetic_batches(16, 8, 4, 10, seed=1))
+
+        model_a = tiny_model(seed=3)
+        opt_a = MixedPrecisionAdam(model_a.parameters(), lr=1e-3)
+        log = StalenessLoop(model_a, opt_a, update_interval=1).train(iter(batches))
+
+        model_b = tiny_model(seed=3)
+        opt_b = MixedPrecisionAdam(model_b.parameters(), lr=1e-3)
+        from repro.nn.functional import cross_entropy
+
+        losses = []
+        for batch in batches:
+            loss = cross_entropy(model_b(batch.inputs, True), batch.targets)
+            model_b.zero_grad()
+            loss.backward()
+            # Mirror the loop's reverse-order sweep semantics.
+            opt_b.bump_step()
+            params = model_b.parameters()
+            for i in reversed(range(len(params))):
+                if params[i].grad is None:
+                    continue
+                params[i].data[...] = opt_b.apply_gradient(i, params[i].grad)
+            losses.append(loss.item())
+        np.testing.assert_allclose(log.losses, losses, rtol=1e-5)
+
+    def test_sweep_count(self):
+        model = tiny_model()
+        opt = MixedPrecisionAdam(model.parameters(), lr=1e-3)
+        loop = StalenessLoop(model, opt, update_interval=3)
+        log = loop.train(lm_synthetic_batches(16, 8, 4, 10, seed=1))
+        # 10 iterations at interval 3: sweeps at 3, 6, 9 + final flush.
+        assert log.sweeps == 4
+        assert log.iterations == 10
+
+    def test_both_modes_learn(self):
+        for interval in (1, 4):
+            model = tiny_model(seed=5)
+            opt = MixedPrecisionAdam(model.parameters(), lr=2e-3)
+            loop = StalenessLoop(model, opt, update_interval=interval)
+            log = loop.train(lm_synthetic_batches(16, 8, 8, 120, seed=2))
+            assert log.final_loss < log.first_loss - 0.2, f"interval={interval}"
+
+    def test_invalid_interval_rejected(self):
+        model = tiny_model()
+        opt = MixedPrecisionAdam(model.parameters())
+        with pytest.raises(ConfigurationError):
+            StalenessLoop(model, opt, update_interval=0)
+
+
+class TestThreadedTrainer:
+    def test_threaded_trainer_learns(self):
+        model = tiny_model(seed=9)
+        opt = MixedPrecisionAdam(model.parameters(), lr=2e-3)
+        trainer = LockFreeTrainer(model, opt)
+        log = trainer.train(lm_synthetic_batches(16, 8, 8, 80, seed=4))
+        assert log.iterations == 80
+        assert log.sweeps >= 1
+        assert log.final_loss < log.first_loss
+
+    def test_buffers_drained_at_exit(self):
+        model = tiny_model(seed=9)
+        opt = MixedPrecisionAdam(model.parameters(), lr=1e-3)
+        trainer = LockFreeTrainer(model, opt)
+        trainer.train(lm_synthetic_batches(16, 8, 4, 10, seed=4))
+        assert not trainer._buffers.has_uncleared
+
+    def test_sweep_delay_increases_staleness(self):
+        model = tiny_model(seed=9)
+        opt = MixedPrecisionAdam(model.parameters(), lr=1e-3)
+        slow = LockFreeTrainer(model, opt, sweep_delay=0.05)
+        log = slow.train(lm_synthetic_batches(16, 8, 4, 20, seed=4))
+        # A slow updater folds several iterations per sweep.
+        assert log.sweeps < log.iterations
+
+    def test_negative_delay_rejected(self):
+        model = tiny_model()
+        opt = MixedPrecisionAdam(model.parameters())
+        with pytest.raises(ConfigurationError):
+            LockFreeTrainer(model, opt, sweep_delay=-1.0)

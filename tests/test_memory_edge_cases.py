@@ -1,0 +1,105 @@
+"""Edge cases of the memory subsystem not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, OutOfMemoryError, TensorStateError
+from repro.hardware.device import DeviceKind
+from repro.memory import DevicePool, PageAllocator
+from repro.memory.fragmentation import TraceEvent
+from repro.units import KiB
+
+PAGE = 16 * KiB
+
+
+def small_allocator(gpu_pages=4, cpu_pages=16):
+    return PageAllocator({
+        DeviceKind.GPU: DevicePool(DeviceKind.GPU, gpu_pages * PAGE, page_bytes=PAGE),
+        DeviceKind.CPU: DevicePool(DeviceKind.CPU, cpu_pages * PAGE, page_bytes=PAGE),
+    })
+
+
+class TestShareTailFlag:
+    def test_share_tail_false_gets_exclusive_pages(self):
+        with small_allocator() as alloc:
+            nelems = PAGE + PAGE // 4  # full page + tail
+            a = alloc.allocate((nelems,), np.uint8, DeviceKind.CPU, share_tail=False)
+            b = alloc.allocate((nelems,), np.uint8, DeviceKind.CPU, share_tail=False)
+            assert a.page_list[-1] is not b.page_list[-1]
+            assert a.is_contiguous and b.is_contiguous
+
+    def test_shared_candidate_not_reused_after_release(self):
+        with small_allocator() as alloc:
+            nelems = PAGE + PAGE // 4
+            a = alloc.allocate((nelems,), np.uint8, DeviceKind.CPU)
+            shared = a.page_list[-1]
+            a.release()
+            # The open shared page was returned to the pool; a fresh
+            # allocation must not reference the stale page object.
+            b = alloc.allocate((nelems,), np.uint8, DeviceKind.CPU)
+            assert all(p.has_storage for p in b.page_list)
+
+
+class TestMergeEdgeCases:
+    def test_merge_oom_leaves_tensor_intact(self):
+        """Merge needs fresh pages; if none exist the tensor survives."""
+        with small_allocator(gpu_pages=3) as alloc:
+            nelems = PAGE + PAGE // 4
+            a = alloc.allocate((nelems,), np.uint8, DeviceKind.GPU)
+            b = alloc.allocate((nelems,), np.uint8, DeviceKind.GPU)  # shares tail
+            data = np.arange(nelems, dtype=np.uint8)
+            b.write_array(data)
+            assert not b.is_contiguous
+            with pytest.raises(OutOfMemoryError):
+                b.merge()  # needs 2 fresh pages; only 0 free
+            np.testing.assert_array_equal(b.read_array(), data)
+
+    def test_merge_split_device_rejected(self):
+        with small_allocator() as alloc:
+            nelems = PAGE + PAGE // 4
+            a = alloc.allocate((nelems,), np.uint8, DeviceKind.CPU)
+            b = alloc.allocate((nelems,), np.uint8, DeviceKind.CPU)
+            a.move(DeviceKind.GPU)  # carries the shared tail page along
+            assert b.device_index == -1
+            with pytest.raises(TensorStateError):
+                b.merge()
+
+
+class TestAllocatorRegistry:
+    def test_release_of_foreign_tensor_rejected(self):
+        with small_allocator() as alloc_a, small_allocator() as alloc_b:
+            tensor = alloc_a.allocate((10,), np.uint8, DeviceKind.CPU)
+            with pytest.raises(TensorStateError):
+                alloc_b.release(tensor)
+            tensor.release()
+
+    def test_tensors_listing(self):
+        with small_allocator() as alloc:
+            a = alloc.allocate((10,), np.uint8, DeviceKind.CPU)
+            b = alloc.allocate((10,), np.uint8, DeviceKind.CPU)
+            assert set(t.tensor_id for t in alloc.tensors) == {
+                a.tensor_id, b.tensor_id,
+            }
+            a.release()
+            assert [t.tensor_id for t in alloc.tensors] == [b.tensor_id]
+
+    def test_move_to_unconfigured_device_rejected(self):
+        with small_allocator() as alloc:
+            tensor = alloc.allocate((10,), np.uint8, DeviceKind.CPU)
+            with pytest.raises(AllocationError):
+                tensor.move(DeviceKind.SSD)
+
+
+class TestTraceEventHelpers:
+    def test_constructors(self):
+        alloc_event = TraceEvent.alloc(3, 128)
+        free_event = TraceEvent.free(3)
+        assert alloc_event.op == "alloc" and alloc_event.nbytes == 128
+        assert free_event.op == "free" and free_event.req_id == 3
+
+    def test_unknown_op_rejected_by_replay(self):
+        from repro.memory.bfc import BfcAllocator
+        from repro.memory.fragmentation import replay
+
+        with pytest.raises(ValueError):
+            replay(BfcAllocator(1024), [TraceEvent("defrag", 1, 0)])

@@ -1,0 +1,106 @@
+"""Device pools: pre-allocation, capacity accounting, backends."""
+
+import os
+
+import pytest
+
+from repro.errors import AllocationError, OutOfMemoryError, PageStateError
+from repro.hardware.device import DeviceKind
+from repro.memory import DevicePool
+from repro.memory.pool import FilePoolBackend
+from repro.units import KiB, MiB
+
+
+class TestPoolAccounting:
+    def test_capacity_rounds_to_whole_pages(self):
+        pool = DevicePool(DeviceKind.CPU, 10 * MiB + 1, page_bytes=4 * MiB)
+        assert pool.num_pages == 2
+        assert pool.capacity_bytes == 8 * MiB
+
+    def test_acquire_release_cycle(self):
+        pool = DevicePool(DeviceKind.CPU, 4 * MiB, page_bytes=MiB)
+        pages = [pool.acquire() for _ in range(4)]
+        assert pool.pages_in_use == 4
+        assert pool.free_bytes == 0
+        for page in pages:
+            pool.release(page)
+        assert pool.pages_in_use == 0
+        assert pool.peak_in_use == 4
+
+    def test_oom_when_exhausted(self):
+        pool = DevicePool(DeviceKind.GPU, MiB, page_bytes=MiB)
+        pool.acquire()
+        with pytest.raises(OutOfMemoryError) as err:
+            pool.acquire()
+        assert err.value.device == pool.name
+
+    def test_double_release_rejected(self):
+        pool = DevicePool(DeviceKind.CPU, 2 * MiB, page_bytes=MiB)
+        page = pool.acquire()
+        storage = page._detach()
+        pool.release_storage(storage)
+        with pytest.raises(PageStateError):
+            pool.release_storage(storage)
+
+    def test_wrong_pool_release_rejected(self):
+        pool_a = DevicePool(DeviceKind.CPU, MiB, page_bytes=MiB)
+        pool_b = DevicePool(DeviceKind.CPU, MiB, page_bytes=MiB)
+        page = pool_a.acquire()
+        with pytest.raises(PageStateError):
+            pool_b.release(page)
+
+    def test_capacity_smaller_than_page_rejected(self):
+        with pytest.raises(AllocationError):
+            DevicePool(DeviceKind.CPU, 100, page_bytes=MiB)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(AllocationError):
+            DevicePool(DeviceKind.CPU, MiB, page_bytes=MiB, backend="cloud")
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["ram", "file"])
+    def test_roundtrip(self, backend):
+        with DevicePool(
+            DeviceKind.SSD if backend == "file" else DeviceKind.CPU,
+            MiB, page_bytes=64 * KiB, backend=backend,
+        ) as pool:
+            page = pool.acquire()
+            page.allocate(1000, 1)
+            page.write(100, b"hello hierarchical memory")
+            assert page.read(100, 25) == b"hello hierarchical memory"
+            page.release(1)
+            pool.release(page)
+
+    def test_file_backend_creates_and_cleans_tempfile(self):
+        pool = DevicePool(DeviceKind.SSD, MiB, page_bytes=64 * KiB, backend="file")
+        path = pool._backend.path
+        assert os.path.exists(path)
+        assert os.path.getsize(path) == pool.capacity_bytes
+        pool.close()
+        assert not os.path.exists(path)
+
+    def test_file_backend_explicit_path_not_deleted(self, tmp_path):
+        path = str(tmp_path / "ssd.bin")
+        pool = DevicePool(
+            DeviceKind.SSD, MiB, page_bytes=64 * KiB, backend="file", file_path=path
+        )
+        pool.close()
+        assert os.path.exists(path)
+
+    def test_null_backend_reads_zeros(self):
+        pool = DevicePool(DeviceKind.CPU, MiB, page_bytes=64 * KiB, backend="null")
+        page = pool.acquire()
+        page.allocate(16, 1)
+        page.write(0, b"x" * 16)
+        assert page.read(0, 16) == bytes(16)
+
+    def test_ram_pages_are_independent(self):
+        pool = DevicePool(DeviceKind.CPU, 2 * MiB, page_bytes=MiB)
+        a, b = pool.acquire(), pool.acquire()
+        a.allocate(4, 1)
+        b.allocate(4, 2)
+        a.write(0, b"aaaa")
+        b.write(0, b"bbbb")
+        assert a.read(0, 4) == b"aaaa"
+        assert b.read(0, 4) == b"bbbb"

@@ -1,0 +1,86 @@
+"""Property-based tests of simulator and collective-model invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.cluster import a100_cluster
+from repro.sim import Simulator
+from repro.zero import CollectiveModel
+from repro.units import MiB
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1, max_size=30,
+    ),
+    stream_picks=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=30),
+    dep_offsets=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=30),
+)
+def test_random_dags_respect_lower_bounds(durations, stream_picks, dep_offsets):
+    """For any random DAG:
+
+    - makespan >= busiest stream's total work,
+    - makespan >= every dependency chain we can sample,
+    - within one stream intervals never overlap.
+    """
+    n = min(len(durations), len(stream_picks), len(dep_offsets))
+    sim = Simulator()
+    tasks = []
+    for i in range(n):
+        deps = []
+        offset = dep_offsets[i]
+        if i - offset >= 0:
+            deps.append(tasks[i - offset])
+        tasks.append(
+            sim.add_task(f"t{i}", sim.stream(f"s{stream_picks[i]}"), durations[i], deps=deps)
+        )
+    timeline = sim.run()
+
+    per_stream = timeline.per_stream()
+    for busy in per_stream.values():
+        assert timeline.makespan >= busy - 1e-9
+
+    # Chain lower bound: any dependency path's duration sum.
+    ends = {iv.task: iv for iv in timeline.intervals}
+    for i in range(n):
+        offset = dep_offsets[i]
+        if i - offset >= 0:
+            parent, child = ends[f"t{i - offset}"], ends[f"t{i}"]
+            assert child.start >= parent.end - 1e-9
+
+    # No overlap within a stream.
+    by_stream = {}
+    for iv in timeline.intervals:
+        by_stream.setdefault(iv.stream, []).append(iv)
+    for intervals in by_stream.values():
+        intervals.sort(key=lambda iv: iv.start)
+        for a, b in zip(intervals, intervals[1:]):
+            assert a.end <= b.start + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    nbytes=st.integers(min_value=0, max_value=1024 * MiB),
+    ranks=st.sampled_from([1, 2, 4, 8, 16, 32, 64]),
+)
+def test_collective_costs_nonnegative_and_monotone_in_bytes(nbytes, ranks):
+    model = CollectiveModel(a100_cluster(8))
+    gather = model.all_gather(nbytes, ranks)
+    assert gather >= 0
+    assert model.all_gather(nbytes + MiB, ranks) >= gather
+    assert model.all_reduce(nbytes, ranks) >= gather
+    assert model.reduce_scatter(nbytes, ranks) == pytest.approx(gather)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nbytes=st.integers(min_value=1, max_value=256 * MiB),
+)
+def test_cross_server_collectives_never_faster(nbytes):
+    """Adding servers to the ring never speeds up a fixed-size gather."""
+    model = CollectiveModel(a100_cluster(8))
+    intra = model.all_gather(nbytes, 8)
+    inter = model.all_gather(nbytes, 16)
+    assert inter >= intra - 1e-12

@@ -1,0 +1,161 @@
+"""Activation recomputation and functional ZeRO data parallelism."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.dp import ZeroDataParallelTrainer
+from repro.errors import GradientError, ShardingError
+from repro.nn import (
+    FFN,
+    MixedPrecisionAdam,
+    Tensor,
+    TinyTransformerLM,
+    cross_entropy,
+    lm_synthetic_batches,
+)
+from repro.nn.recompute import checkpoint
+from repro.nn import tensor as tensor_mod
+
+
+def tiny(seed=0, recompute=False):
+    return TinyTransformerLM(
+        vocab_size=16, d_model=16, d_ffn=32, num_heads=2, num_layers=2,
+        max_seq=8, seed=seed, recompute=recompute,
+    )
+
+
+class TestRecompute:
+    def test_gradients_identical_with_and_without(self):
+        batch = next(lm_synthetic_batches(16, 8, 4, 1, seed=1))
+        plain = tiny(seed=3, recompute=False)
+        ckpt = tiny(seed=3, recompute=True)
+
+        loss_plain = cross_entropy(plain(batch.inputs), batch.targets)
+        plain.zero_grad()
+        loss_plain.backward()
+
+        loss_ckpt = cross_entropy(ckpt(batch.inputs), batch.targets)
+        ckpt.zero_grad()
+        loss_ckpt.backward()
+
+        assert loss_plain.item() == pytest.approx(loss_ckpt.item(), rel=1e-6)
+        for (name, a), (_, b) in zip(
+            plain.named_parameters(), ckpt.named_parameters()
+        ):
+            assert a.grad is not None and b.grad is not None, name
+            np.testing.assert_allclose(a.grad, b.grad, rtol=1e-4, atol=1e-6,
+                                       err_msg=name)
+
+    def test_forward_builds_smaller_tape(self):
+        """Recompute's whole point: fewer live tape nodes after forward."""
+        batch = next(lm_synthetic_batches(16, 8, 4, 1, seed=1))
+
+        def forward_nodes(model):
+            start = tensor_mod.tape_nodes_created
+            model(batch.inputs)
+            return tensor_mod.tape_nodes_created - start
+
+        plain_nodes = forward_nodes(tiny(seed=3, recompute=False))
+        ckpt_nodes = forward_nodes(tiny(seed=3, recompute=True))
+        assert ckpt_nodes < plain_nodes / 2
+
+    def test_training_with_recompute_learns(self):
+        model = tiny(seed=4, recompute=True)
+        opt = MixedPrecisionAdam(model.parameters(), lr=2e-3)
+        losses = []
+        for batch in lm_synthetic_batches(16, 8, 8, 60, seed=5):
+            loss = cross_entropy(model(batch.inputs, True), batch.targets)
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert np.mean(losses[-6:]) < np.mean(losses[:6]) - 0.2
+
+    def test_checkpoint_standalone_function(self):
+        rng = np.random.default_rng(0)
+        ffn = FFN(8, 16, rng)
+        x = Tensor(rng.standard_normal((2, 8)).astype(np.float32), requires_grad=True)
+
+        direct = ffn(x)
+        (direct ** 2).sum().backward()
+        direct_xgrad = x.grad.copy()
+        direct_wgrad = ffn.w1.weight.grad.copy()
+
+        x.zero_grad()
+        ffn.zero_grad()
+        wrapped = checkpoint(ffn, x, params=tuple(ffn.parameters()))
+        np.testing.assert_allclose(wrapped.data, direct.data, atol=1e-6)
+        (wrapped ** 2).sum().backward()
+        np.testing.assert_allclose(x.grad, direct_xgrad, rtol=1e-5)
+        np.testing.assert_allclose(ffn.w1.weight.grad, direct_wgrad, rtol=1e-5)
+
+    def test_nondeterministic_function_detected(self):
+        rng = np.random.default_rng(1)
+        state = {"called": 0}
+
+        def flaky(t):
+            state["called"] += 1
+            return t * float(state["called"])
+
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        out = checkpoint(flaky, x)
+        with pytest.raises(GradientError):
+            out.sum().backward()
+
+
+class TestZeroDataParallel:
+    def test_matches_single_rank_training(self):
+        """K-rank DP == 1-rank training on the same global batches."""
+        batches = list(lm_synthetic_batches(16, 8, 8, 6, seed=6))
+
+        single = ZeroDataParallelTrainer(lambda: tiny(seed=7), num_ranks=1, lr=1e-3)
+        for batch in batches:
+            single.train_step(batch)
+
+        multi = ZeroDataParallelTrainer(lambda: tiny(seed=7), num_ranks=4, lr=1e-3)
+        for batch in batches:
+            multi.train_step(batch)
+
+        for a, b in zip(single._params[0], multi._params[0]):
+            np.testing.assert_allclose(a.data, b.data, atol=1e-6)
+
+    def test_replicas_stay_in_sync(self):
+        trainer = ZeroDataParallelTrainer(lambda: tiny(seed=8), num_ranks=2, lr=1e-3)
+        for batch in lm_synthetic_batches(16, 8, 4, 4, seed=9):
+            trainer.train_step(batch)
+        assert trainer.replicas_in_sync()
+
+    def test_optimizer_states_partitioned(self):
+        """ZeRO: each rank holds ~1/N of the FP32 states, none shared."""
+        trainer = ZeroDataParallelTrainer(lambda: tiny(seed=8), num_ranks=4, lr=1e-3)
+        owned = trainer._owned_indices
+        all_indices = sorted(i for rank in owned for i in rank)
+        assert all_indices == list(range(len(trainer._params[0])))
+        total = sum(trainer.optimizer_state_bytes(r) for r in range(4))
+        single = ZeroDataParallelTrainer(lambda: tiny(seed=8), num_ranks=1, lr=1e-3)
+        assert total == single.optimizer_state_bytes(0)
+
+    def test_communication_volume_accounting(self):
+        trainer = ZeroDataParallelTrainer(lambda: tiny(seed=8), num_ranks=2, lr=1e-3)
+        batch = next(lm_synthetic_batches(16, 8, 4, 1, seed=9))
+        trainer.train_step(batch)
+        param_bytes = sum(p.data.nbytes for p in trainer._params[0])
+        # All-reduce touches every gradient once; the ZeRO gather streams
+        # every refreshed parameter once.
+        assert trainer.comm.allreduce_bytes == param_bytes
+        assert trainer.comm.gather_bytes == param_bytes
+
+    def test_uneven_batch_rejected(self):
+        trainer = ZeroDataParallelTrainer(lambda: tiny(seed=8), num_ranks=3, lr=1e-3)
+        batch = next(lm_synthetic_batches(16, 8, 4, 1, seed=9))
+        with pytest.raises(ShardingError):
+            trainer.train_step(batch)
+
+    def test_dp_losses_decrease(self):
+        trainer = ZeroDataParallelTrainer(lambda: tiny(seed=10), num_ranks=2, lr=2e-3)
+        losses = [
+            trainer.train_step(batch)
+            for batch in lm_synthetic_batches(16, 8, 8, 60, seed=11)
+        ]
+        assert np.mean(losses[-6:]) < np.mean(losses[:6]) - 0.2

@@ -1,0 +1,278 @@
+"""Unified scheduler: Algorithm 1, memory model, cache plan, simulation."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError, SchedulingError
+from repro.hardware.cluster import a100_cluster
+from repro.hardware.server import a100_server
+from repro.models import get_model
+from repro.scheduler import (
+    LifetimeScheduler,
+    MemoryModel,
+    Operation,
+    Schedule,
+    ScheduledTask,
+    UnifiedScheduler,
+    build_layer_pages,
+    plan_gpu_cache,
+)
+from repro.tracer import CostModel, Tracer
+from repro.units import GiB, MiB
+
+
+@pytest.fixture
+def cost():
+    server = a100_server()
+    return CostModel(gpu=server.gpus[0], cpu=server.cpu)
+
+
+def make_trace(cost, num_layers=4, batch=1, seq=128, model="gpt3-1.7b"):
+    spec = get_model(model).with_layers(num_layers).build(batch, seq)
+    return Tracer(cost).trace(spec)
+
+
+class TestScheduleStructure:
+    def test_pop_last_movement(self):
+        plan = Schedule()
+        plan.append(ScheduledTask(Operation.MOVE_TO_GPU, 0, 0, page_id=0, nbytes=8))
+        plan.append(ScheduledTask(Operation.COMPUTE, 0, 0, op_id=0))
+        plan.append(ScheduledTask(Operation.MOVE_TO_GPU, 1, 0, page_id=0, nbytes=8))
+        popped = plan.pop_last_movement()
+        assert popped.layer_index == 1
+        assert len(plan) == 2
+
+    def test_pop_without_movement_raises(self):
+        plan = Schedule()
+        plan.append(ScheduledTask(Operation.COMPUTE, 0, 0, op_id=0))
+        with pytest.raises(SchedulingError):
+            plan.pop_last_movement()
+
+    def test_negative_trigger_rejected(self):
+        with pytest.raises(SchedulingError):
+            ScheduledTask(Operation.COMPUTE, 0, -1)
+
+
+class TestMemoryModel:
+    def test_base_includes_activations(self, cost):
+        trace = make_trace(cost)
+        memory = MemoryModel(trace, gpu_budget_bytes=10 * GiB)
+        fwd_live = memory.live_at(trace.layers[0].fwd_id)
+        assert fwd_live > 0
+
+    def test_add_remove_roundtrip(self, cost):
+        trace = make_trace(cost)
+        memory = MemoryModel(trace, gpu_budget_bytes=10 * GiB)
+        before = memory.live_at(2)
+        memory.add_resident(MiB, 1, 3)
+        assert memory.live_at(2) == before + MiB
+        memory.remove_resident(MiB, 1, 3)
+        assert memory.live_at(2) == before
+
+    def test_remove_more_than_added_rejected(self, cost):
+        trace = make_trace(cost)
+        memory = MemoryModel(trace, gpu_budget_bytes=10 * GiB)
+        with pytest.raises(SchedulingError):
+            memory.remove_resident(MiB, 0, 0)
+
+    def test_cache_raises_floor(self, cost):
+        trace = make_trace(cost)
+        plain = MemoryModel(trace, gpu_budget_bytes=10 * GiB)
+        cached = MemoryModel(trace, gpu_budget_bytes=10 * GiB, cache_bytes=GiB)
+        assert cached.peak_live() == pytest.approx(plain.peak_live() + GiB)
+
+    def test_earliest_feasible_finds_earliest(self, cost):
+        trace = make_trace(cost)
+        memory = MemoryModel(trace, gpu_budget_bytes=10 * GiB)
+        # Occupy nearly the whole budget at op 2 only.
+        memory.add_resident(int(9.9 * GiB), 2, 2)
+        got = memory.earliest_feasible(int(0.2 * GiB), latest=5, end_op=5)
+        assert got == 3  # cannot cross the op-2 spike
+
+    def test_earliest_feasible_none_when_infeasible(self, cost):
+        trace = make_trace(cost)
+        memory = MemoryModel(trace, gpu_budget_bytes=10 * GiB)
+        memory.add_resident(int(9.9 * GiB), 5, 5)
+        assert memory.earliest_feasible(GiB, latest=5, end_op=5) is None
+
+    def test_span_bounds_checked(self, cost):
+        trace = make_trace(cost)
+        memory = MemoryModel(trace, gpu_budget_bytes=10 * GiB)
+        with pytest.raises(SchedulingError):
+            memory.add_resident(1, 0, trace.num_ops)
+
+
+class TestAlgorithm1:
+    def _schedule(self, cost, gpu_budget, num_layers=4, batch=1, num_ranks=8):
+        trace = make_trace(cost, num_layers=num_layers, batch=batch)
+        pages = build_layer_pages(trace, num_ranks, page_bytes=4 * MiB)
+        memory = MemoryModel(trace, gpu_budget, num_ranks=num_ranks)
+        return trace, pages, LifetimeScheduler(trace, pages, memory).schedule()
+
+    def test_every_page_moved_exactly_once(self, cost):
+        trace, pages, plan = self._schedule(cost, gpu_budget=36 * GiB)
+        moves = plan.of(Operation.MOVE_TO_GPU)
+        expected = sum(table.num_pages for table in pages)
+        assert len(moves) == expected
+        keys = {(m.layer_index, m.page_id) for m in moves}
+        assert len(keys) == expected
+
+    def test_compute_op_per_forward_and_backward(self, cost):
+        trace, _, plan = self._schedule(cost, gpu_budget=36 * GiB)
+        computes = plan.of(Operation.COMPUTE)
+        assert len(computes) == 2 * trace.num_layers
+        assert sorted(t.op_id for t in computes) == list(range(2 * trace.num_layers))
+
+    def test_gather_never_after_its_compute(self, cost):
+        _, _, plan = self._schedule(cost, gpu_budget=36 * GiB)
+        for task in plan.of(Operation.ALL_GATHER):
+            assert task.trigger_id <= task.op_id
+
+    def test_phase2_advances_gathers_when_memory_allows(self, cost):
+        """With a roomy budget, most gathers should be pre-triggered."""
+        _, _, plan = self._schedule(cost, gpu_budget=36 * GiB)
+        gathers = plan.of(Operation.ALL_GATHER)
+        advanced = [t for t in gathers if t.trigger_id < t.op_id]
+        assert len(advanced) >= len(gathers) // 2
+
+    def test_moves_prioritized_at_trigger_zero_with_room(self, cost):
+        _, _, plan = self._schedule(cost, gpu_budget=36 * GiB)
+        moves = plan.of(Operation.MOVE_TO_GPU)
+        assert all(m.trigger_id == 0 for m in moves)
+
+    def test_tight_memory_defers_moves(self, cost):
+        """With a tight budget some moves must wait past trigger 0."""
+        trace, _, plan = self._schedule(
+            cost, gpu_budget=int(1.2 * GiB), num_layers=8, num_ranks=1
+        )
+        moves = plan.of(Operation.MOVE_TO_GPU)
+        assert any(m.trigger_id > 0 for m in moves)
+
+    def test_infeasible_model_raises_oom(self, cost):
+        with pytest.raises(OutOfMemoryError):
+            self._schedule(cost, gpu_budget=64 * MiB, num_ranks=1)
+
+    def test_memory_budget_never_exceeded(self, cost):
+        """Replaying the schedule keeps live bytes within budget."""
+        budget = int(1.5 * GiB)
+        trace = make_trace(cost, num_layers=8)
+        pages = build_layer_pages(trace, 1, page_bytes=4 * MiB)
+        memory = MemoryModel(trace, budget, num_ranks=1)
+        LifetimeScheduler(trace, pages, memory).schedule()
+        assert memory.peak_live() <= budget
+
+
+class TestCachePlan:
+    def test_small_model_fully_cached(self, cost):
+        trace = make_trace(cost, num_layers=2)
+        pages = build_layer_pages(trace, 8)
+        plan = plan_gpu_cache(trace, pages, gpu_budget_bytes=36 * GiB, num_ranks=8)
+        assert plan.num_cached == trace.num_layers
+
+    def test_large_model_not_cached(self, cost):
+        trace = Tracer(cost).trace(get_model("gpt3-55b").build(1, 2048))
+        pages = build_layer_pages(trace, 8)
+        plan = plan_gpu_cache(trace, pages, gpu_budget_bytes=36 * GiB, num_ranks=8)
+        assert plan.num_cached < trace.num_layers
+
+    def test_cache_prefers_last_layers(self, cost):
+        """Update order is reverse, so the last layers cache first."""
+        trace = Tracer(cost).trace(get_model("gpt3-28b").build(4, 2048))
+        pages = build_layer_pages(trace, 8)
+        plan = plan_gpu_cache(trace, pages, gpu_budget_bytes=36 * GiB, num_ranks=8)
+        if 0 < plan.num_cached < trace.num_layers:
+            last = trace.num_layers - 1
+            assert plan.is_cached(last)
+            assert not plan.is_cached(0)
+
+    def test_cache_bytes_sum(self, cost):
+        trace = make_trace(cost, num_layers=2)
+        pages = build_layer_pages(trace, 8)
+        plan = plan_gpu_cache(trace, pages, gpu_budget_bytes=36 * GiB, num_ranks=8)
+        assert plan.cache_bytes == sum(plan.layer_bytes.values())
+
+
+class TestUnifiedScheduler:
+    def test_simulation_produces_throughput(self):
+        scheduler = UnifiedScheduler(a100_cluster(1))
+        result = scheduler.simulate(get_model("gpt3-1.7b"), micro_batch=4)
+        assert result.samples_per_second > 0
+        assert result.iteration_time > 0
+        assert 0 < result.gpu_busy_fraction <= 1.0
+
+    def test_larger_batch_is_more_efficient(self):
+        scheduler = UnifiedScheduler(a100_cluster(1))
+        config = get_model("gpt3-1.7b")
+        small = scheduler.simulate(config, micro_batch=1)
+        large = scheduler.simulate(config, micro_batch=16)
+        per_sample_small = 1 / small.samples_per_second
+        per_sample_large = 1 / large.samples_per_second
+        assert per_sample_large < per_sample_small
+
+    def test_lock_free_not_slower(self):
+        scheduler = UnifiedScheduler(a100_cluster(1))
+        config = get_model("gpt3-28b")
+        sync = scheduler.simulate(config, micro_batch=2, use_ssd=True)
+        lockfree = scheduler.simulate(
+            config, micro_batch=2, use_ssd=True, lock_free=True
+        )
+        assert lockfree.samples_per_second >= sync.samples_per_second
+        assert lockfree.staleness >= 0
+
+    def test_ssd_slows_synchronous_training(self):
+        scheduler = UnifiedScheduler(a100_cluster(1))
+        config = get_model("gpt3-55b")
+        plain = scheduler.simulate(config, micro_batch=1)
+        with_ssd = scheduler.simulate(config, micro_batch=1, use_ssd=True)
+        assert with_ssd.iteration_time > plain.iteration_time
+
+    def test_ssd_requires_tier(self):
+        cluster = a100_cluster(1, ssd_bytes=None)
+        scheduler = UnifiedScheduler(cluster)
+        with pytest.raises(SchedulingError):
+            scheduler.simulate(get_model("gpt3-55b"), micro_batch=1, use_ssd=True)
+
+    def test_plan_is_reusable(self):
+        scheduler = UnifiedScheduler(a100_cluster(1))
+        plan = scheduler.plan(get_model("gpt3-1.7b"), micro_batch=2)
+        a = scheduler.simulate_plan(plan)
+        b = scheduler.simulate_plan(plan)
+        assert a.iteration_time == b.iteration_time
+
+
+class TestSteadyState:
+    def test_steady_state_not_slower_reported_correctly(self):
+        """The marginal iteration is at most the cold iteration plus the
+        cross-iteration dependency stalls, and stays positive."""
+        scheduler = UnifiedScheduler(a100_cluster(1))
+        plan = scheduler.plan(get_model("gpt3-13b"), micro_batch=4)
+        cold = scheduler.simulate_plan(plan)
+        steady = scheduler.simulate_plan(plan, steady_state=True)
+        assert steady.iteration_time > 0
+        # With per-layer update overlap the steady iteration is within a
+        # modest factor of the cold one.
+        assert steady.iteration_time < 1.5 * cold.iteration_time
+
+    def test_lock_free_steady_state_ignores_update_stalls(self):
+        """Lock-free: the GPU never waits for updates, so the steady
+        iteration equals the GPU path even when updates are slow (SSD)."""
+        scheduler = UnifiedScheduler(a100_cluster(1))
+        plan = scheduler.plan(get_model("gpt3-55b"), micro_batch=1)
+        sync = scheduler.simulate_plan(plan, use_ssd=True, steady_state=True)
+        lockfree = scheduler.simulate_plan(
+            plan, use_ssd=True, lock_free=True, steady_state=True
+        )
+        assert lockfree.iteration_time < sync.iteration_time
+
+
+class TestBreakdown:
+    def test_breakdown_fractions_consistent(self):
+        scheduler = UnifiedScheduler(a100_cluster(1))
+        result = scheduler.simulate(get_model("gpt3-1.7b"), micro_batch=2)
+        breakdown = result.breakdown()
+        assert breakdown["compute"] > 0
+        assert breakdown["compute_fraction"] == pytest.approx(
+            breakdown["compute"] / result.iteration_time
+        )
+        assert breakdown["critical_stream"] is not None
+        # The bottleneck of a compute-bound small model is the GPU stream.
+        assert breakdown["critical_stream"] == "gpu"

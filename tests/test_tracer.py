@@ -1,0 +1,181 @@
+"""Tracer: logical IDs, life-times, cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.server import a100_server
+from repro.models import get_model
+from repro.models.transformer import TensorKind, transformer_layer
+from repro.tracer import AccessPattern, CostModel, TensorAccess, Tracer
+
+
+@pytest.fixture
+def cost():
+    server = a100_server()
+    return CostModel(gpu=server.gpus[0], cpu=server.cpu)
+
+
+@pytest.fixture
+def trace(cost):
+    model = get_model("gpt3-1.7b").with_layers(4).build(batch_size=2, seq_len=128)
+    return Tracer(cost).trace(model)
+
+
+class TestTensorAccess:
+    def test_lifetime_length(self):
+        access = TensorAccess(0, "t", 2, 5, 0.0, 0.0, 8, TensorKind.PARAM, 0)
+        assert access.lifetime == 4
+        assert access.live_at(2) and access.live_at(5)
+        assert not access.live_at(1) and not access.live_at(6)
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TensorAccess(0, "t", 5, 2, 0.0, 0.0, 8, TensorKind.PARAM, 0)
+
+    def test_pattern_bounds_checked(self):
+        access = TensorAccess(0, "t", 0, 9, 0.0, 0.0, 8, TensorKind.PARAM, 0)
+        with pytest.raises(ConfigurationError):
+            AccessPattern(accesses=(access,), num_ops=5)
+
+    def test_live_bytes_accounting(self):
+        accesses = (
+            TensorAccess(0, "a", 0, 2, 0.0, 0.0, 10, TensorKind.PARAM, 0),
+            TensorAccess(1, "b", 1, 3, 0.0, 0.0, 20, TensorKind.ACTIVATION, 0),
+        )
+        pattern = AccessPattern(accesses=accesses, num_ops=4)
+        assert pattern.live_bytes_at(0) == 10
+        assert pattern.live_bytes_at(1) == 30
+        assert pattern.live_bytes_at(3) == 20
+        assert pattern.peak_live_bytes() == 30
+        assert pattern.peak_live_bytes(TensorKind.PARAM) == 10
+
+
+class TestTracerIds:
+    def test_op_id_layout(self, trace):
+        """fwd i -> i, bwd i -> 2L-1-i, update i -> 2L + (L-1-i)."""
+        num_layers = trace.num_layers
+        assert trace.num_ops == 3 * num_layers
+        for layer in trace.layers:
+            i = layer.layer_index
+            assert layer.fwd_id == i
+            assert layer.bwd_id == 2 * num_layers - 1 - i
+            assert layer.update_id == 2 * num_layers + (num_layers - 1 - i)
+
+    def test_updates_run_in_reverse_layer_order(self, trace):
+        """Algorithm 2: for l_i in reverse(model)."""
+        update_ids = [layer.update_id for layer in trace.layers]
+        assert update_ids == sorted(update_ids, reverse=True)
+
+    def test_param_lives_from_forward_to_update(self, trace):
+        params = [
+            a for a in trace.pattern.accesses
+            if a.kind == TensorKind.PARAM and not a.name.endswith(".grad")
+        ]
+        for access in params:
+            layer = trace.layers[access.layer_index]
+            assert access.first_id == layer.fwd_id
+            assert access.end_id == layer.update_id
+
+    def test_grad_lives_from_backward_to_update(self, trace):
+        grads = [a for a in trace.pattern.accesses if a.name.endswith(".grad")]
+        assert grads
+        for access in grads:
+            layer = trace.layers[access.layer_index]
+            assert access.first_id == layer.bwd_id
+            assert access.end_id == layer.update_id
+
+    def test_optim_touched_only_at_update(self, trace):
+        optims = trace.pattern.by_kind(TensorKind.OPTIM)
+        assert optims
+        for access in optims:
+            layer = trace.layers[access.layer_index]
+            assert access.first_id == access.end_id == layer.update_id
+
+    def test_recompute_shrinks_activation_lifetime(self, cost):
+        model = get_model("gpt3-1.7b").with_layers(2).build(1, 64)
+        with_rc = Tracer(cost, use_recompute=True).trace(model)
+        without = Tracer(cost, use_recompute=False).trace(model)
+        acts_rc = with_rc.pattern.by_kind(TensorKind.ACTIVATION)
+        acts_plain = without.pattern.by_kind(TensorKind.ACTIVATION)
+        assert all(a.end_id == a.first_id for a in acts_rc)
+        assert all(
+            a.end_id == with_rc.layers[a.layer_index].bwd_id for a in acts_plain
+        )
+        assert with_rc.pattern.peak_live_bytes(TensorKind.ACTIVATION) < (
+            without.pattern.peak_live_bytes(TensorKind.ACTIVATION)
+        )
+
+    def test_tensor_ids_unique(self, trace):
+        ids = [a.tensor_id for a in trace.pattern.accesses]
+        assert len(ids) == len(set(ids))
+
+    def test_totals_match_model(self, cost):
+        model = get_model("gpt3-1.7b").with_layers(3).build(1, 64)
+        trace = Tracer(cost).trace(model)
+        assert trace.total_param_count == model.param_count
+        assert trace.total_optim_bytes == model.optims_bytes
+
+
+class TestCostModel:
+    def test_efficiency_saturates(self, cost):
+        assert cost.efficiency(1) < cost.efficiency(8) < cost.efficiency(64)
+        assert cost.efficiency(1024) < cost.base_efficiency
+
+    def test_backward_twice_forward(self, cost):
+        layer = transformer_layer(256, 1024, 2, 64)
+        assert cost.backward_time(layer, 2, 64) == pytest.approx(
+            2 * cost.forward_time(layer, 2, 64)
+        )
+
+    def test_forward_time_scales_with_tokens(self, cost):
+        layer = transformer_layer(256, 1024, 2, 64)
+        assert cost.forward_time(layer, 2, 128) == pytest.approx(
+            2 * cost.forward_time(layer, 2, 64)
+        )
+
+    def test_moe_flops_count_only_routed_experts(self, cost):
+        from repro.models.moe import moe_layer
+
+        dense = transformer_layer(64, 128, 1, 16)
+        moe = moe_layer(64, 128, num_experts=8, batch_size=1, seq_len=16)
+        # The MoE layer has ~8x the FFN params but routed FLOPs stay close
+        # to dense (one expert per token + router).
+        assert cost.layer_flops(moe, 1, 16) < 1.5 * cost.layer_flops(dense, 1, 16)
+
+    def test_cpu_update_uses_adam_bandwidth(self):
+        server = a100_server()
+        fast = CostModel(gpu=server.gpus[0], cpu=server.cpu, adam_bandwidth=20e9)
+        slow = CostModel(gpu=server.gpus[0], cpu=server.cpu, adam_bandwidth=5e9)
+        assert slow.cpu_update_time(10**9) == pytest.approx(
+            4 * fast.cpu_update_time(10**9)
+        )
+
+    def test_gpu_update_faster_than_cpu(self, cost):
+        assert cost.gpu_update_time(10**9) < cost.cpu_update_time(10**9)
+
+    def test_invalid_batch_rejected(self, cost):
+        with pytest.raises(ConfigurationError):
+            cost.efficiency(0)
+
+
+class TestTracerMoE:
+    def test_moe_layer_tensors_traced(self, cost):
+        from repro.models import get_model
+
+        model = get_model("t5-moe-1.2t").with_experts(8).with_layers(2).build(1, 64)
+        trace = Tracer(cost).trace(model)
+        names = [a.name for a in trace.pattern.accesses]
+        assert any(".expert0." in n for n in names)
+        assert any(".router" in n for n in names)
+        # Every expert's params + grads + optim states are covered.
+        expert_params = [n for n in names if ".expert" in n and not n.endswith(".grad")
+                         and not n.endswith(".optim")]
+        assert len(expert_params) == 2 * 8 * 2  # layers x experts x (w1,w2)
+
+    def test_t5_decoder_cross_attention_traced(self, cost):
+        from repro.models import get_model
+
+        model = get_model("t5-1.4b").with_layers(2).build(1, 64)
+        trace = Tracer(cost).trace(model)
+        names = [a.name for a in trace.pattern.accesses]
+        assert any(".xattn." in n for n in names)

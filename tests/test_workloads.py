@@ -1,0 +1,67 @@
+"""Workload trace generation from model specs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.bfc import BfcAllocator
+from repro.memory.fragmentation import replay
+from repro.models import get_model
+from repro.units import GiB
+from repro.workloads import WorkloadOptions, peak_live_bytes, training_trace
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_model("gpt3-1.7b").with_layers(2).build(1, 128)
+
+
+class TestTrainingTrace:
+    def test_trace_balances_allocs_and_frees(self, model):
+        trace = training_trace(model, WorkloadOptions(num_iterations=2))
+        allocs = sum(1 for e in trace if e.op == "alloc")
+        frees = sum(1 for e in trace if e.op == "free")
+        assert allocs == frees  # every allocation is released per iteration
+
+    def test_recompute_lowers_peak(self, model):
+        with_rc = training_trace(model, WorkloadOptions(use_recompute=True))
+        without = training_trace(model, WorkloadOptions(use_recompute=False))
+        assert peak_live_bytes(with_rc) < peak_live_bytes(without)
+
+    def test_sharding_shrinks_staging(self, model):
+        one = training_trace(
+            model, WorkloadOptions(num_ranks=1, use_recompute=True)
+        )
+        eight = training_trace(
+            model, WorkloadOptions(num_ranks=8, use_recompute=True)
+        )
+        # Optimizer staging is per-shard: the 8-rank trace's largest
+        # staging allocation is ~1/8 of the 1-rank one.
+        largest_stage = lambda trace: max(e.nbytes for e in trace if e.op == "alloc")
+        assert largest_stage(eight) <= largest_stage(one)
+
+    def test_no_staging_option(self, model):
+        trace = training_trace(
+            model, WorkloadOptions(offload_staging=False, num_iterations=1)
+        )
+        optim_bytes = model.layers[0].optims_bytes // len(model.layers[0].params)
+        # Without staging, no FP32-sized (x3) allocations appear.
+        big = max(e.nbytes for e in trace if e.op == "alloc")
+        assert big < model.layers[0].optims_bytes
+
+    def test_replayable_through_allocators(self, model):
+        trace = training_trace(model, WorkloadOptions(num_iterations=2))
+        stats = replay(BfcAllocator(8 * GiB), trace)
+        assert stats.failed_at is None
+        assert stats.peak_live_bytes == peak_live_bytes(trace)
+        assert stats.overhead_ratio >= 1.0
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadOptions(num_iterations=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadOptions(num_ranks=0)
+
+    def test_iterations_scale_trace_linearly(self, model):
+        one = training_trace(model, WorkloadOptions(num_iterations=1))
+        three = training_trace(model, WorkloadOptions(num_iterations=3))
+        assert len(three) == 3 * len(one)
