@@ -55,11 +55,32 @@ def save_snapshot(snapshot: Snapshot, path: str) -> None:
     try:
         with os.fdopen(fd, "wb") as handle:
             np.savez(handle, **payload)
+            # The bytes must be durable *before* the rename publishes
+            # them, or a crash can leave a fully-renamed but empty file —
+            # exactly the corruption the atomic-replace is meant to
+            # prevent (Section 3.1's failure model).
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(staging, path)
     except Exception:
         if os.path.exists(staging):
             os.unlink(staging)
         raise
+    _fsync_directory(directory)
+
+
+def _fsync_directory(directory: str) -> None:
+    """Persist a rename by fsyncing its directory (no-op where unsupported)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # e.g. Windows cannot open directories
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def load_snapshot(path: str) -> Snapshot:

@@ -16,7 +16,7 @@ import sys
 
 import numpy as np
 
-from repro.units import GiB, KiB, MiB
+from repro.units import KiB, MiB
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
@@ -128,6 +128,70 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.resilience import AvailabilityModel, ChaosConfig, run_chaos, run_reference
+
+    if args.steps < 1:
+        print("chaos: --steps must be >= 1", file=sys.stderr)
+        return 2
+    if args.ckpt_every < 1:
+        print("chaos: --ckpt-every must be >= 1", file=sys.stderr)
+        return 2
+    config = ChaosConfig(
+        steps=args.steps,
+        checkpoint_every=args.ckpt_every,
+        seed=args.seed,
+        layers=args.layers,
+        transient_read_rate=args.transient_rate,
+        transient_write_rate=args.transient_rate,
+        max_transients=args.max_transients,
+        torn_write_rate=args.torn_rate,
+        max_torn_writes=args.max_torn,
+        die_after_ops=args.tier_death_after,
+        rank_failure_at_step=args.rank_failure_at,
+        world_size=args.world_size,
+    )
+    reference = run_reference(
+        ChaosConfig(steps=args.steps, checkpoint_every=args.ckpt_every,
+                    seed=args.seed, layers=args.layers)
+    )
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    report = run_chaos(config, workdir)
+    print(f"steps completed : {report.steps_completed} "
+          f"({report.step_attempts} attempts)")
+    print(f"world size      : {config.world_size} -> {report.final_world_size}")
+    print(f"degraded to CPU : {report.degraded}")
+    print(f"recoveries at   : {report.recovery_steps or '-'}")
+    print("injected faults :")
+    for record in report.fault_log:
+        detail = f" ({record.detail})" if record.detail else ""
+        print(f"  op {record.op_index:6d}  {record.kind.value:<16} "
+              f"{record.tier}{detail}")
+    if not report.fault_log:
+        print("  (none)")
+    print("counters        :")
+    for name, value in report.counters.as_dict().items():
+        if value:
+            print(f"  {name:<22} {value}")
+    delta = abs(report.final_loss - reference[-1])
+    print(f"final loss      : {report.final_loss:.4f} "
+          f"(fault-free {reference[-1]:.4f}, |delta| {delta:.4f})")
+    model = AvailabilityModel(
+        iteration_time=args.iteration_time,
+        checkpoint_time=args.checkpoint_time,
+        restart_time=args.restart_time,
+        mtbf=args.mtbf,
+    )
+    interval = model.optimal_checkpoint_interval()
+    print(f"Young/Daly      : checkpoint every {interval:.0f}s "
+          f"(= {model.optimal_checkpoint_every()} steps at "
+          f"{args.iteration_time:.0f}s/step), "
+          f"efficiency {model.efficiency(interval):.1%}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import repro.experiments as experiments
 
@@ -178,6 +242,32 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--ssd", action="store_true")
     train.add_argument("--lock-free", action="store_true")
     train.set_defaults(func=_cmd_train)
+
+    chaos = sub.add_parser(
+        "chaos", help="chaos-test the functional engine (fault injection)"
+    )
+    chaos.add_argument("--steps", type=int, default=10)
+    chaos.add_argument("--layers", type=int, default=2)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--ckpt-every", type=int, default=3)
+    chaos.add_argument("--world-size", type=int, default=2)
+    chaos.add_argument("--transient-rate", type=float, default=0.005,
+                       help="per-I/O transient fault probability on the SSD tier")
+    chaos.add_argument("--max-transients", type=int, default=8)
+    chaos.add_argument("--torn-rate", type=float, default=0.002)
+    chaos.add_argument("--max-torn", type=int, default=2)
+    chaos.add_argument("--tier-death-after", type=int, default=None,
+                       help="kill the SSD tier permanently after N I/O ops")
+    chaos.add_argument("--rank-failure-at", type=int, default=None,
+                       help="crash a rank at this step (restore from checkpoint)")
+    chaos.add_argument("--workdir", default=None,
+                       help="checkpoint directory (default: fresh temp dir)")
+    chaos.add_argument("--iteration-time", type=float, default=60.0,
+                       help="per-step seconds for the Young/Daly summary")
+    chaos.add_argument("--checkpoint-time", type=float, default=120.0)
+    chaos.add_argument("--restart-time", type=float, default=300.0)
+    chaos.add_argument("--mtbf", type=float, default=12 * 3600.0)
+    chaos.set_defaults(func=_cmd_chaos)
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", help="e.g. table5, figure8, ablation_page_size")

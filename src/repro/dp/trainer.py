@@ -17,7 +17,7 @@ Communication volumes are tracked so tests can assert the ZeRO accounting
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -25,7 +25,6 @@ from repro.errors import ConfigurationError, ShardingError
 from repro.nn.functional import cross_entropy
 from repro.nn.data import Batch
 from repro.nn.optim import MixedPrecisionAdam
-from repro.nn.tensor import Tensor
 
 
 @dataclass

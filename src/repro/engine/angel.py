@@ -50,6 +50,12 @@ class AngelConfig:
     lock_free: bool = False
     update_interval: int = 1
     ssd_path: str | None = None
+    #: Optional repro.resilience.FaultPlan injected into the SSD tier's
+    #: physical backend (chaos testing, Section 3.1's failure model).
+    fault_plan: object | None = None
+    #: Optional repro.resilience.RetryPolicy absorbing transient tier I/O
+    #: errors on page moves and FP32-state round trips.
+    retry_policy: object | None = None
 
     def __post_init__(self) -> None:
         if self.update_interval < 1:
@@ -105,7 +111,12 @@ class AngelModel:
                 DeviceKind.SSD, config.ssd_bytes, config.page_bytes,
                 backend="file", file_path=config.ssd_path,
             )
-        self.allocator = PageAllocator(pools)
+            if config.fault_plan is not None:
+                # Deferred import: repro.resilience builds on this engine.
+                from repro.resilience.faults import inject_faults
+
+                inject_faults(pools[DeviceKind.SSD], config.fault_plan, tier="ssd")
+        self.allocator = PageAllocator(pools, retry_policy=config.retry_policy)
         self._state_tier = DeviceKind.SSD if config.ssd_bytes else DeviceKind.CPU
 
         self._managed: list[_Managed] = []
@@ -136,17 +147,24 @@ class AngelModel:
             fp16 = self.allocator.allocate(param.shape, np.float16, DeviceKind.CPU)
             fp16.write_array(param.data.astype(np.float16))
             master = self.allocator.allocate(param.shape, np.float32, self._state_tier)
-            master.write_array(param.data)
+            self._io(lambda t=master, p=param: t.write_array(p.data))
             moment1 = self.allocator.allocate(param.shape, np.float32, self._state_tier)
-            moment1.fill(0.0)
+            self._io(lambda t=moment1: t.fill(0.0))
             moment2 = self.allocator.allocate(param.shape, np.float32, self._state_tier)
-            moment2.fill(0.0)
+            self._io(lambda t=moment2: t.fill(0.0))
             managed = _Managed(
                 index=index, name=name, param=param, fp16=fp16,
                 master=master, moment1=moment1, moment2=moment2,
             )
             self._managed.append(managed)
             self._by_param[id(param)] = managed
+
+    def _io(self, fn):
+        """Run a paged-state I/O op under the configured retry policy."""
+        policy = self.config.retry_policy
+        if policy is None:
+            return fn()
+        return policy.run(fn)
 
     def _install_hooks(self) -> None:
         for module in self.module.modules():
@@ -270,17 +288,76 @@ class AngelModel:
             if count == 0:
                 continue
             index = managed.index
-            # Fetch p32, m32, v32 from their tier (real file I/O on SSD).
-            opt.master[index][...] = managed.master.read_array()
-            opt.m[index][...] = managed.moment1.read_array()
-            opt.v[index][...] = managed.moment2.read_array()
+            # Fetch p32, m32, v32 from their tier (real file I/O on SSD);
+            # transient faults are retried, permanent tier death escalates.
+            opt.master[index][...] = self._io(managed.master.read_array)
+            opt.m[index][...] = self._io(managed.moment1.read_array)
+            opt.v[index][...] = self._io(managed.moment2.read_array)
             refreshed = opt.apply_gradient(index, grad / count)
             # Offload updated states and refresh the FP16 buffers.
-            managed.master.write_array(opt.master[index])
-            managed.moment1.write_array(opt.m[index])
-            managed.moment2.write_array(opt.v[index])
+            self._io(lambda: managed.master.write_array(opt.master[index]))
+            self._io(lambda: managed.moment1.write_array(opt.m[index]))
+            self._io(lambda: managed.moment2.write_array(opt.v[index]))
             managed.fp16.write_array(refreshed.astype(np.float16))
             managed.param.data[...] = refreshed
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (Section 3.1's failure model)
+    # ------------------------------------------------------------------
+    @property
+    def state_tier(self) -> DeviceKind:
+        """Where the FP32 master states currently live."""
+        return self._state_tier
+
+    def degrade_tier(
+        self,
+        dead: DeviceKind = DeviceKind.SSD,
+        survivor: DeviceKind = DeviceKind.CPU,
+    ) -> int:
+        """Evacuate the FP32 states off a permanently failed tier.
+
+        The dead tier's bytes are unreadable, but the optimizer's host
+        arrays mirror the paged states as of the last completed update
+        sweep (they are written back together), so the states are rebuilt
+        exactly on ``survivor`` and the dead pool is dropped. Any
+        gradients buffered for the aborted step are discarded — the
+        supervised driver replays that step. Returns the number of
+        tensors rebuilt.
+        """
+        if self._state_tier != dead:
+            raise ConfigurationError(
+                f"FP32 states live on {self._state_tier.name}, not {dead.name}"
+            )
+        opt = self.optimizer
+        rebuilt = 0
+        for managed in self._managed:
+            index = managed.index
+            for attr, host in (
+                ("master", opt.master[index]),
+                ("moment1", opt.m[index]),
+                ("moment2", opt.v[index]),
+            ):
+                old = getattr(managed, attr)
+                if old.device_kind != dead:
+                    continue
+                self.allocator.release(old)
+                fresh = self.allocator.allocate(
+                    managed.param.shape, np.float32, survivor
+                )
+                fresh.write_array(host)
+                setattr(managed, attr, fresh)
+                rebuilt += 1
+            # Re-derive the FP16 working copy from the authoritative
+            # master so every layer is consistent with the rebuilt state.
+            refreshed = opt.master[index].astype(np.float16).astype(np.float32)
+            managed.fp16.write_array(refreshed.astype(np.float16))
+            managed.param.data[...] = refreshed
+        for index in range(len(self._managed)):
+            self._buffers.drain(index)
+        self._pending = 0
+        self.allocator.drop_pool(dead)
+        self._state_tier = survivor
+        return rebuilt
 
     # ------------------------------------------------------------------
     # Introspection

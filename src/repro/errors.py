@@ -65,3 +65,47 @@ class GradientError(ReproError):
 
 class CheckpointError(ReproError):
     """Saving or restoring training state failed."""
+
+
+class TransientIOError(ReproError):
+    """A tier I/O operation failed in a retryable way.
+
+    Models the transient SSD/file-system hiccups of Section 3.1's failure
+    model; a bounded retry with backoff is expected to succeed.
+    """
+
+
+class TierFailedError(ReproError):
+    """A memory tier died permanently; no retry will succeed.
+
+    Carries the tier name so callers can degrade onto the survivors.
+    """
+
+    def __init__(self, tier: str, message: str | None = None):
+        self.tier = tier
+        super().__init__(message or f"memory tier {tier!r} failed permanently")
+
+
+class RankFailedError(ReproError):
+    """A training rank crashed (simulated GPU/node failure, Section 3.1)."""
+
+    def __init__(self, rank: int = 0, step: int | None = None):
+        self.rank = rank
+        self.step = step
+        at = f" at step {step}" if step is not None else ""
+        super().__init__(f"rank {rank} failed{at}")
+
+
+class RetryExhaustedError(ReproError):
+    """A retried operation kept failing past its attempt/deadline budget.
+
+    ``last_error`` holds the final underlying failure (also chained as
+    ``__cause__``).
+    """
+
+    def __init__(self, attempts: int, last_error: BaseException):
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"operation failed after {attempts} attempt(s): {last_error}"
+        )

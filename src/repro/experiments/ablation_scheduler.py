@@ -18,7 +18,7 @@ from repro.experiments.common import Report
 from repro.hardware.cluster import a100_cluster
 from repro.models.zoo import get_model
 from repro.scheduler.cache import CachePlan
-from repro.scheduler.tasks import Operation, ScheduledTask
+from repro.scheduler.tasks import Operation
 from repro.scheduler.unified import UnifiedScheduler
 
 

@@ -13,7 +13,7 @@ import json
 
 from repro.errors import ConfigurationError
 from repro.hardware.cluster import ClusterSpec
-from repro.hardware.server import ServerSpec, a100_server
+from repro.hardware.server import a100_server
 from repro.units import GB, GiB, TB
 
 #: JSON fields accepted under "server", mapped to a100_server kwargs and

@@ -8,6 +8,13 @@ releases the GIL inside kernels, so the two threads genuinely overlap.
 
 An optional per-sweep delay emulates the SSD I/O the updating thread pays
 in production (fetch + offload of the FP32 states, lines 4 and 7).
+
+Failure handling: an exception on the updating thread is captured and
+re-raised on the main thread at the next step boundary (or at finish) —
+it never dies silently, never hangs ``join()``, and never strands dirty
+buffers. With ``fallback_to_sync=True`` the trainer instead degrades to
+the synchronous update path on the main thread and finishes training,
+recording the captured error in ``update_error``.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ class LockFreeTrainer:
         optimizer: MixedPrecisionAdam,
         mixed_precision: bool = True,
         sweep_delay: float = 0.0,
+        fallback_to_sync: bool = False,
     ):
         if sweep_delay < 0:
             raise ConfigurationError("sweep_delay must be >= 0")
@@ -39,40 +47,66 @@ class LockFreeTrainer:
         self.optimizer = optimizer
         self.mixed_precision = mixed_precision
         self.sweep_delay = sweep_delay
+        self.fallback_to_sync = fallback_to_sync
         self._params = model.parameters()
         self._buffers = GradientBuffers(self._params)
         self._stop = threading.Event()
         self._sweeps = 0
+        #: The exception that killed the updating thread, if any.
+        self.update_error: BaseException | None = None
+        #: True once the trainer degraded to synchronous updates.
+        self.fell_back = False
 
     # ------------------------------------------------------------------
     # Updating thread (Algorithm 2, lines 1-7)
     # ------------------------------------------------------------------
     def _update_loop(self) -> None:
-        while not self._stop.is_set() or self._buffers.has_uncleared:
-            if not self._buffers.has_uncleared:
-                time.sleep(1e-4)
-                continue
-            # Bias correction advances once per sweep, before any layer
-            # applies (Adam's t must be >= 1 when gradients are folded in).
-            self.optimizer.bump_step()
-            did_work = False
-            for index in reversed(range(len(self._params))):
-                grad, count = self._buffers.drain(index)
-                if count == 0:
+        try:
+            while not self._stop.is_set() or self._buffers.has_uncleared:
+                if not self._buffers.has_uncleared:
+                    time.sleep(1e-4)
                     continue
-                did_work = True
-                refreshed = self.optimizer.apply_gradient(index, grad / count)
-                self._params[index].data[...] = refreshed
-            if did_work:
-                self._sweeps += 1
-                if self.sweep_delay:
-                    time.sleep(self.sweep_delay)  # emulated SSD I/O
+                self._sweep_once()
+        except BaseException as exc:  # surface on the main thread
+            self.update_error = exc
+
+    def _sweep_once(self) -> None:
+        """One update sweep over all layers (shared by both paths)."""
+        # Bias correction advances once per sweep, before any layer
+        # applies (Adam's t must be >= 1 when gradients are folded in).
+        self.optimizer.bump_step()
+        did_work = False
+        for index in reversed(range(len(self._params))):
+            grad, count = self._buffers.drain(index)
+            if count == 0:
+                continue
+            did_work = True
+            refreshed = self.optimizer.apply_gradient(index, grad / count)
+            self._params[index].data[...] = refreshed
+        if did_work:
+            self._sweeps += 1
+            if self.sweep_delay:
+                time.sleep(self.sweep_delay)  # emulated SSD I/O
+
+    # ------------------------------------------------------------------
+    # Failure surfacing / degradation
+    # ------------------------------------------------------------------
+    def _check_updater(self) -> None:
+        """Step-boundary check: degrade to sync updates, or re-raise."""
+        if self.update_error is None or self.fell_back:
+            return
+        if self.fallback_to_sync:
+            self.fell_back = True
+            return
+        raise self.update_error
 
     # ------------------------------------------------------------------
     # GPU loop (Algorithm 2, lines 17-24) — runs on the calling thread
     # ------------------------------------------------------------------
     def train(self, batches) -> TrainLog:
         log = TrainLog()
+        self.update_error = None
+        self.fell_back = False
         updater = threading.Thread(target=self._update_loop, daemon=True)
         updater.start()
         try:
@@ -84,8 +118,16 @@ class LockFreeTrainer:
                 self._buffers.accumulate_all(self._params)
                 log.losses.append(loss.item())
                 log.iterations += 1
+                self._check_updater()
+                if self.fell_back and self._buffers.has_uncleared:
+                    self._sweep_once()
         finally:
             self._stop.set()
             updater.join(timeout=30.0)
+            # A crashed updater exits with buffers still dirty; a healthy
+            # one drains them before returning (its loop condition).
+            self._check_updater()
+            if self.fell_back and self._buffers.has_uncleared:
+                self._sweep_once()
         log.sweeps = self._sweeps
         return log

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.errors import AllocationError, TensorStateError
 from repro.hardware.device import DeviceKind
-from repro.memory.page import DEFAULT_PAGE_BYTES, Page
+from repro.memory.page import Page
 from repro.memory.pool import DevicePool
 from repro.memory.tensor import PagedTensor
 
@@ -26,13 +26,20 @@ from repro.memory.tensor import PagedTensor
 class PageAllocator:
     """Allocates, releases, moves and merges paged tensors across tiers."""
 
-    def __init__(self, pools: dict[DeviceKind, DevicePool]):
+    def __init__(
+        self,
+        pools: dict[DeviceKind, DevicePool],
+        retry_policy=None,
+    ):
         if not pools:
             raise AllocationError("at least one device pool is required")
         page_sizes = {pool.page_bytes for pool in pools.values()}
         if len(page_sizes) != 1:
             raise AllocationError("all pools must share one page size")
         self._pools = dict(pools)
+        #: Optional repro.resilience RetryPolicy applied to page moves, the
+        #: cross-tier I/O most exposed to transient SSD/file faults.
+        self.retry_policy = retry_policy
         self.page_bytes = page_sizes.pop()
         self._tensor_ids = itertools.count()
         self._tensors: dict[int, PagedTensor] = {}
@@ -145,7 +152,28 @@ class PageAllocator:
         for page in tensor.page_list:
             if page.pool is not target:
                 self._forget_shared(page)
-                page.move(target)
+                if self.retry_policy is not None:
+                    self.retry_policy.run(lambda p=page: p.move(target))
+                else:
+                    page.move(target)
+
+    def drop_pool(self, device: DeviceKind) -> None:
+        """Remove a (dead) tier's pool; no live tensor may still use it.
+
+        The degradation path: after a permanent tier failure, callers
+        evacuate or rebuild the tier's tensors on a survivor and then drop
+        the pool so no future allocation or move targets it.
+        """
+        pool = self.pool(device)
+        for tensor in self._tensors.values():
+            if any(page.has_storage and page.pool is pool for page in tensor.page_list):
+                raise AllocationError(
+                    f"cannot drop {device.name}: tensor {tensor.tensor_id} "
+                    "still has pages there"
+                )
+        self._open_shared.pop(device, None)
+        del self._pools[device]
+        pool.close()
 
     def merge(self, tensor: PagedTensor) -> None:
         """Re-pack into exclusive pages on the tensor's current device.

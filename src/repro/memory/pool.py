@@ -159,6 +159,15 @@ class DevicePool:
         self._in_use = 0
         self.peak_in_use = 0
 
+    def wrap_backend(self, wrapper) -> None:
+        """Interpose on physical I/O: ``wrapper(inner) -> backend``.
+
+        Used by ``repro.resilience`` to inject faults into a tier without
+        the pool, pages or tensors knowing; the wrapper must expose the
+        backend protocol (``read``/``write``/``close``).
+        """
+        self._backend = wrapper(self._backend)
+
     # ------------------------------------------------------------------
     # Storage lifecycle (used by Page.move and by acquire/release below)
     # ------------------------------------------------------------------

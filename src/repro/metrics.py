@@ -30,10 +30,55 @@ class StepRecord:
 
 
 @dataclass
+class FaultCounters:
+    """Resilience observability: every fault seen and every cure applied.
+
+    Incremented by the retry/degradation/recovery machinery in
+    ``repro.resilience`` so chaos tests (and operators) can assert exactly
+    what happened during a run — Section 3.1's fault tolerance made
+    countable.
+    """
+
+    retries: int = 0
+    transient_faults: int = 0
+    torn_writes: int = 0
+    latency_injections: int = 0
+    tier_deaths: int = 0
+    degradations: int = 0
+    rank_failures: int = 0
+    recoveries: int = 0
+    updater_fallbacks: int = 0
+    checkpoints_saved: int = 0
+    checkpoints_restored: int = 0
+    reshards: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            name: getattr(self, name)
+            for name in (
+                "retries", "transient_faults", "torn_writes",
+                "latency_injections", "tier_deaths", "degradations",
+                "rank_failures", "recoveries", "updater_fallbacks",
+                "checkpoints_saved", "checkpoints_restored", "reshards",
+            )
+        }
+
+    def absorb_plan(self, plan) -> None:
+        """Fold a FaultPlan's injection log into these counters."""
+        from repro.resilience.faults import FaultKind
+
+        self.transient_faults += plan.count(FaultKind.TRANSIENT_READ)
+        self.transient_faults += plan.count(FaultKind.TRANSIENT_WRITE)
+        self.torn_writes += plan.count(FaultKind.TORN_WRITE)
+        self.latency_injections += plan.count(FaultKind.LATENCY)
+
+
+@dataclass
 class MetricsRecorder:
     """Collects step records and summarizes them."""
 
     records: list[StepRecord] = field(default_factory=list)
+    resilience: FaultCounters | None = None
     _step_started: float | None = field(default=None, repr=False)
 
     def start_step(self) -> None:
@@ -98,7 +143,7 @@ class MetricsRecorder:
         return max((getattr(r, attr) for r in self.records), default=0)
 
     def summary(self) -> dict:
-        return {
+        summary = {
             "steps": self.num_steps,
             "final_loss": self.mean_loss(tail=max(1, self.num_steps // 10))
             if self.records else None,
@@ -107,6 +152,9 @@ class MetricsRecorder:
             "peak_cpu_pages": self.peak_pages("cpu"),
             "peak_ssd_pages": self.peak_pages("ssd"),
         }
+        if self.resilience is not None:
+            summary["resilience"] = self.resilience.as_dict()
+        return summary
 
     # ------------------------------------------------------------------
     # Export

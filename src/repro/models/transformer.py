@@ -11,7 +11,7 @@ master/momentum/variance factor of 3 for FP32 optimizer states.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 

@@ -63,9 +63,12 @@ __all__ = [
     "WarmupCosineLR",
     "WarmupLinearLR",
     "clip_grad_norm",
+    "Batch",
     "copy_task_batches",
     "lm_synthetic_batches",
     "cross_entropy",
+    "gelu",
+    "layer_norm",
     "mse_loss",
     "softmax",
 ]

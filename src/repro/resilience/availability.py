@@ -1,0 +1,144 @@
+"""Goodput under failures: checkpoint-interval math for the DES path.
+
+The discrete-event simulator predicts a failure-free iteration time; this
+module layers Section 3.1's failure model on top of it analytically and by
+deterministic replay:
+
+- :meth:`AvailabilityModel.optimal_checkpoint_interval` is the classic
+  Young/Daly first-order optimum ``sqrt(2 * MTBF * checkpoint_cost)``;
+- :meth:`AvailabilityModel.efficiency` is the closed-form fraction of
+  wall-clock spent on useful steps for a given interval;
+- :func:`replay_with_failures` replays a training timeline step by step
+  against scheduled rank failures — each failure rolls the job back to
+  its last checkpoint and pays the restart cost — returning the observed
+  wall clock, lost work and goodput.
+
+Everything is deterministic: failures are either given explicitly or
+drawn from a seeded exponential (Poisson-process) generator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AvailabilityModel:
+    """Failure-aware throughput arithmetic for one training job."""
+
+    iteration_time: float
+    checkpoint_time: float
+    restart_time: float
+    mtbf: float  # mean time between failures, seconds
+
+    def __post_init__(self) -> None:
+        if min(self.iteration_time, self.checkpoint_time, self.restart_time) < 0:
+            raise ConfigurationError("times must be >= 0")
+        if self.iteration_time == 0 or self.mtbf <= 0:
+            raise ConfigurationError("iteration_time and mtbf must be > 0")
+
+    def optimal_checkpoint_interval(self) -> float:
+        """Young/Daly: the interval (seconds) minimizing expected waste."""
+        return math.sqrt(2.0 * self.mtbf * self.checkpoint_time)
+
+    def optimal_checkpoint_every(self) -> int:
+        """The Young/Daly interval expressed in whole training steps."""
+        return max(1, round(self.optimal_checkpoint_interval() / self.iteration_time))
+
+    def efficiency(self, checkpoint_interval: float) -> float:
+        """Expected useful fraction of wall clock at ``checkpoint_interval``.
+
+        First-order model: each interval pays its checkpoint, and failures
+        (rate ``1/mtbf``) each cost half an interval of rework plus the
+        restart.
+        """
+        if checkpoint_interval <= 0:
+            raise ConfigurationError("checkpoint_interval must be > 0")
+        cycle = checkpoint_interval + self.checkpoint_time
+        waste_per_failure = checkpoint_interval / 2.0 + self.restart_time
+        expected_waste = cycle / self.mtbf * waste_per_failure
+        return checkpoint_interval / (cycle + expected_waste)
+
+
+@dataclass(frozen=True)
+class FailureReplay:
+    """Outcome of one deterministic failure-timeline replay."""
+
+    wall_clock: float
+    useful_time: float
+    steps_replayed: int
+    failures: int
+    checkpoints: int
+
+    @property
+    def goodput(self) -> float:
+        if self.wall_clock == 0:
+            return 1.0
+        return self.useful_time / self.wall_clock
+
+
+def poisson_failure_steps(
+    total_steps: int, iteration_time: float, mtbf: float, seed: int = 0
+) -> list[int]:
+    """Failure step indices drawn from a seeded Poisson process."""
+    if total_steps < 1 or iteration_time <= 0 or mtbf <= 0:
+        raise ConfigurationError("positive steps, iteration_time and mtbf required")
+    rng = np.random.default_rng(seed)
+    steps, clock = [], 0.0
+    horizon = total_steps * iteration_time
+    while True:
+        clock += rng.exponential(mtbf)
+        if clock >= horizon:
+            return steps
+        steps.append(int(clock / iteration_time))
+
+
+def replay_with_failures(
+    total_steps: int,
+    iteration_time: float,
+    checkpoint_every: int,
+    checkpoint_time: float,
+    restart_time: float,
+    failure_steps: list[int],
+) -> FailureReplay:
+    """Replay a run where each failure rolls back to the last checkpoint.
+
+    ``failure_steps`` are global-progress step indices at which a rank
+    dies (each consumed once, in order); progress resumes from the last
+    checkpointed step after paying ``restart_time``.
+    """
+    if total_steps < 1 or checkpoint_every < 1:
+        raise ConfigurationError("total_steps and checkpoint_every must be >= 1")
+    pending = sorted(failure_steps)
+    wall = 0.0
+    step = 0
+    last_checkpoint = 0
+    executed = 0
+    failures = 0
+    checkpoints = 0
+    while step < total_steps:
+        if pending and step == pending[0]:
+            pending.pop(0)
+            failures += 1
+            wall += restart_time
+            step = last_checkpoint
+            continue
+        wall += iteration_time
+        executed += 1
+        step += 1
+        if step % checkpoint_every == 0:
+            wall += checkpoint_time
+            checkpoints += 1
+            last_checkpoint = step
+    return FailureReplay(
+        wall_clock=wall,
+        useful_time=total_steps * iteration_time,
+        steps_replayed=executed - total_steps,
+        failures=failures,
+        checkpoints=checkpoints,
+    )

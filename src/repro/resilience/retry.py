@@ -1,0 +1,78 @@
+"""Retry with exponential backoff, jitter and a deadline.
+
+The retry ladder of the fault model (docs/resilience.md): transient tier
+I/O errors are absorbed here; permanent failures (``TierFailedError``,
+``RankFailedError``) are *not* retried — they escalate to the degradation
+and recovery layers above.
+
+Jitter is drawn from a seeded RNG so chaos runs are bit-reproducible, and
+``sleep`` is injectable so tests pay no wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+import random
+
+from repro.errors import ConfigurationError, RetryExhaustedError, TransientIOError
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff: ``base * multiplier**n``, jittered.
+
+    ``run(fn)`` calls ``fn`` until it succeeds, a non-retryable error is
+    raised, or the attempt/deadline budget is spent — then raises
+    :class:`RetryExhaustedError` chaining the last failure.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.0005
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+    jitter: float = 0.5
+    deadline: float | None = None
+    seed: int = 0
+    retry_on: tuple = (TransientIOError,)
+    sleep: object = time.sleep
+    on_retry: object = None  # callable(attempt, exc, delay) or None
+
+    #: Total retries performed over this policy's lifetime (observability).
+    retries: int = field(default=0, init=False)
+    _rng: random.Random = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ConfigurationError("delays and jitter must be >= 0")
+        self._rng = random.Random(self.seed)
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based), jittered."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        return raw * (1.0 + self.jitter * self._rng.random())
+
+    def run(self, fn):
+        """Call ``fn`` under this policy and return its result."""
+        start = time.monotonic()
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except self.retry_on as exc:
+                if attempt >= self.max_attempts:
+                    raise RetryExhaustedError(attempt, exc) from exc
+                delay = self.backoff(attempt)
+                if (
+                    self.deadline is not None
+                    and time.monotonic() - start + delay > self.deadline
+                ):
+                    raise RetryExhaustedError(attempt, exc) from exc
+                self.retries += 1
+                if self.on_retry is not None:
+                    self.on_retry(attempt, exc, delay)
+                if delay > 0:
+                    self.sleep(delay)
+                attempt += 1

@@ -59,9 +59,13 @@ class ScheduleExecutor:
         gpu_budget_bytes: int,
         page_bytes: int,
         backend: str = "null",
+        retry_policy=None,
     ):
         self.plan = plan
         self.page_bytes = page_bytes
+        #: Optional repro.resilience RetryPolicy: transient faults during
+        #: page staging are absorbed without invalidating the schedule.
+        self.retry_policy = retry_policy
         cpu_capacity = max(
             2 * sum(t.shard_bytes for t in plan.layer_pages) + 64 * page_bytes,
             4 * page_bytes,
@@ -77,7 +81,8 @@ class ScheduleExecutor:
                 DeviceKind.CPU: DevicePool(
                     DeviceKind.CPU, cpu_capacity, page_bytes, backend=backend
                 ),
-            }
+            },
+            retry_policy=retry_policy,
         )
         self.bus = EventBus()
 

@@ -1,0 +1,184 @@
+"""Chaos training: seeded fault plans against the supervised driver.
+
+The acceptance bar for the resilience subsystem: with a fixed seed, a run
+that suffers transient SSD faults heals bit-for-bit; a run that addition-
+ally loses the SSD tier permanently and crashes a rank mid-run recovers
+from checkpoint, finishes, and lands within tolerance of the fault-free
+loss — with every retry/degradation/recovery observable in the counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import RankFailedError
+from repro.metrics import FaultCounters, MetricsRecorder
+from repro.resilience import (
+    ChaosConfig,
+    FaultKind,
+    ResilientTrainer,
+    engine_factory,
+    make_batches,
+    make_fault_plan,
+    run_chaos,
+    run_reference,
+)
+from repro.runtime.events import EventBus
+
+
+def reference_losses(**kwargs):
+    kwargs.setdefault("steps", 8)
+    kwargs.setdefault("checkpoint_every", 3)
+    return run_reference(ChaosConfig(**kwargs))
+
+
+class TestTransientFaultsHealBitForBit:
+    def test_losses_identical_to_fault_free_run(self, tmp_path):
+        config = ChaosConfig(
+            steps=8, checkpoint_every=3, seed=1,
+            transient_read_rate=0.01, transient_write_rate=0.01,
+            max_transients=12, torn_write_rate=0.005, max_torn_writes=4,
+        )
+        reference = reference_losses(seed=1)
+        report = run_chaos(config, str(tmp_path))
+        assert report.losses == reference  # bit-for-bit
+        assert report.counters.transient_faults == 12
+        assert report.counters.torn_writes == 4
+        assert report.counters.retries >= 12
+        assert report.counters.tier_deaths == 0
+        assert report.counters.recoveries == 0
+
+    def test_chaos_runs_are_seed_deterministic(self, tmp_path):
+        config = ChaosConfig(
+            steps=6, checkpoint_every=2, seed=5,
+            transient_read_rate=0.02, max_transients=6,
+        )
+        first = run_chaos(config, str(tmp_path / "a"))
+        second = run_chaos(config, str(tmp_path / "b"))
+        assert first.losses == second.losses
+        assert [(r.op_index, r.kind) for r in first.fault_log] == [
+            (r.op_index, r.kind) for r in second.fault_log
+        ]
+
+
+class TestFullRecoveryLadder:
+    CONFIG = dict(
+        steps=10, checkpoint_every=3, seed=3,
+        transient_read_rate=0.005, transient_write_rate=0.005,
+        max_transients=8, die_after_ops=900, rank_failure_at_step=7,
+    )
+
+    def test_tier_death_and_rank_failure_recover_within_tolerance(self, tmp_path):
+        config = ChaosConfig(**self.CONFIG)
+        reference = reference_losses(steps=10, seed=3)
+        counters = FaultCounters()
+        bus = EventBus()
+        report = run_chaos(config, str(tmp_path), bus=bus, counters=counters)
+
+        # The run completed all steps despite losing the SSD tier and a rank.
+        assert report.steps_completed == 10
+        assert len(report.losses) == 10
+        assert report.degraded
+        assert report.final_world_size == 1  # elastic shrink 2 -> 1
+
+        # Every rung of the ladder is observable in the counters.
+        assert counters.tier_deaths == 1
+        assert counters.degradations == 1
+        assert counters.rank_failures == 1
+        assert counters.recoveries == 1
+        assert counters.checkpoints_restored == 1
+        assert counters.reshards == 1
+        assert counters.retries >= 1
+        assert counters.checkpoints_saved >= 2
+
+        # Recovery events were published on the bus.
+        assert bus.event("resilience.degrade.1").done
+        assert bus.event("resilience.recovery.1").done
+        assert bus.event("resilience.rank_failure.1").done
+
+        # Convergence matches the fault-free run within tolerance.
+        assert abs(report.final_loss - reference[-1]) < 0.1
+        assert max(
+            abs(a - b) for a, b in zip(reference, report.losses)
+        ) < 0.25
+
+        # Counters surface through the standard metrics summary.
+        recorder = MetricsRecorder(resilience=counters)
+        assert recorder.summary()["resilience"]["recoveries"] == 1
+
+    def test_ladder_is_deterministic(self, tmp_path):
+        config = ChaosConfig(**self.CONFIG)
+        first = run_chaos(config, str(tmp_path / "a"))
+        second = run_chaos(config, str(tmp_path / "b"))
+        assert first.losses == second.losses
+        assert first.recovery_steps == second.recovery_steps
+
+    def test_fault_log_records_the_injected_schedule(self, tmp_path):
+        config = ChaosConfig(**self.CONFIG)
+        report = run_chaos(config, str(tmp_path))
+        kinds = [record.kind for record in report.fault_log]
+        assert FaultKind.TIER_DEATH in kinds
+        assert FaultKind.RANK_FAILURE in kinds
+        assert any(
+            k in kinds
+            for k in (FaultKind.TRANSIENT_READ, FaultKind.TRANSIENT_WRITE)
+        )
+
+
+class TestRecoveryMechanics:
+    def test_rank_failure_without_checkpoint_dir_contents_uses_initial(self, tmp_path):
+        # Failure before the first periodic checkpoint: the step-0 initial
+        # checkpoint makes the run recoverable from scratch.
+        config = ChaosConfig(steps=5, checkpoint_every=10, seed=2,
+                             rank_failure_at_step=2)
+        reference = reference_losses(steps=5, checkpoint_every=10, seed=2)
+        report = run_chaos(config, str(tmp_path))
+        assert report.steps_completed == 5
+        assert report.recovery_steps == [0]
+        # Restore + replay of deterministic batches reproduces the run.
+        np.testing.assert_allclose(report.losses, reference, atol=1e-2)
+
+    def test_corrupt_newest_checkpoint_falls_back_to_older(self, tmp_path):
+        config = ChaosConfig(steps=6, checkpoint_every=2, seed=4)
+        plan = make_fault_plan(
+            ChaosConfig(steps=6, checkpoint_every=2, seed=4, rank_failure_at_step=5)
+        )
+        trainer = ResilientTrainer(
+            engine_factory(config, plan, None),
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=2,
+            fault_plan=plan,
+            world_size=2,
+        )
+        batches = make_batches(config)
+        # Corrupt the newest checkpoint as soon as it lands by truncating
+        # it behind the trainer's back before the scheduled rank failure.
+        original_save = trainer.save_checkpoint
+
+        def sabotaging_save(engine, step):
+            path = original_save(engine, step)
+            if step == 4:
+                with open(path, "r+b") as handle:
+                    handle.truncate(100)
+            return path
+
+        trainer.save_checkpoint = sabotaging_save
+        report = trainer.train(batches)
+        trainer.close()
+        assert report.steps_completed == 6
+        # Fell back past the corrupt step-4 file to the step-2 checkpoint.
+        assert report.recovery_steps == [2]
+
+    def test_max_recoveries_guard_reraises(self, tmp_path):
+        config = ChaosConfig(steps=4, checkpoint_every=2, seed=6,
+                             rank_failure_at_step=1)
+        plan = make_fault_plan(config)
+        trainer = ResilientTrainer(
+            engine_factory(config, plan, None),
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=2,
+            fault_plan=plan,
+            world_size=2,
+            max_recoveries=0,
+        )
+        with pytest.raises(RankFailedError):
+            trainer.train(make_batches(config))

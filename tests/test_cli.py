@@ -47,3 +47,25 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_chaos_reports_faults_and_counters(self, capsys, tmp_path):
+        assert main([
+            "chaos", "--steps", "6", "--seed", "3", "--ckpt-every", "2",
+            "--tier-death-after", "700", "--rank-failure-at", "4",
+            "--workdir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "steps completed : 6" in out
+        assert "world size      : 2 -> 1" in out
+        assert "tier_death" in out and "rank_failure" in out
+        assert "recoveries" in out and "degradations" in out
+        assert "final loss" in out and "Young/Daly" in out
+
+    def test_chaos_fault_free_run(self, capsys, tmp_path):
+        assert main([
+            "chaos", "--steps", "4", "--transient-rate", "0",
+            "--torn-rate", "0", "--workdir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(none)" in out  # empty fault log
+        assert "|delta| 0.0000" in out  # bit-for-bit with the reference

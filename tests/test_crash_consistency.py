@@ -1,0 +1,134 @@
+"""Crash-consistency: a save killed at any point never corrupts the
+latest good snapshot, and a torn final file is always *detected*.
+
+Section 3.1's claim is "a crash mid-save never loses the previous
+checkpoint"; these tests kill saves at randomized byte offsets and at
+every structural point (mid-write, pre-rename, post-crash temp litter)
+and assert the previous snapshot always restores with checksums intact.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.snapshot import Snapshot, load_snapshot, save_snapshot
+from repro.errors import CheckpointError
+
+
+def make_snapshot(seed: int) -> Snapshot:
+    rng = np.random.default_rng(seed)
+    snapshot = Snapshot(metadata={"step": seed})
+    snapshot.add_array("weights", rng.normal(size=(32, 8)).astype(np.float32))
+    snapshot.add_array("moments", rng.normal(size=(64,)).astype(np.float32))
+    return snapshot
+
+
+def assert_is_version(snapshot: Snapshot, seed: int) -> None:
+    expected = make_snapshot(seed)
+    assert snapshot.metadata["step"] == seed
+    for name in expected.arrays:
+        np.testing.assert_array_equal(snapshot.arrays[name], expected.arrays[name])
+
+
+class TestKilledSaves:
+    def test_failure_during_write_preserves_previous(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "ckpt.npz")
+        save_snapshot(make_snapshot(1), path)
+
+        import repro.checkpoint.snapshot as snapshot_module
+
+        def exploding_savez(handle, **payload):
+            handle.write(b"partial garbage")
+            raise OSError("disk error mid-write")
+
+        monkeypatch.setattr(snapshot_module.np, "savez", exploding_savez)
+        with pytest.raises(OSError):
+            save_snapshot(make_snapshot(2), path)
+        monkeypatch.undo()
+
+        assert glob.glob(str(tmp_path / "*.tmp")) == []  # staging cleaned
+        assert_is_version(load_snapshot(path), 1)
+
+    def test_failure_at_rename_preserves_previous(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "ckpt.npz")
+        save_snapshot(make_snapshot(1), path)
+
+        def exploding_replace(src, dst):
+            raise OSError("killed before rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_snapshot(make_snapshot(2), path)
+        monkeypatch.undo()
+
+        assert glob.glob(str(tmp_path / "*.tmp")) == []
+        assert_is_version(load_snapshot(path), 1)
+
+    def test_crash_leftover_temp_files_do_not_affect_load(self, tmp_path):
+        """A hard crash can strand staging files; they must be inert."""
+        path = str(tmp_path / "ckpt.npz")
+        save_snapshot(make_snapshot(1), path)
+        full = (tmp_path / "full.npz")
+        save_snapshot(make_snapshot(2), str(full))
+        payload = full.read_bytes()
+        rng = np.random.default_rng(7)
+        for i, offset in enumerate(rng.integers(0, len(payload), size=8)):
+            (tmp_path / f"stranded{i}.tmp").write_bytes(payload[: int(offset)])
+        assert_is_version(load_snapshot(path), 1)
+
+    def test_data_is_fsynced_before_rename(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        real_replace = os.replace
+
+        def recording_fsync(fd):
+            synced.append("fsync")
+            return real_fsync(fd)
+
+        def recording_replace(src, dst):
+            synced.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        monkeypatch.setattr(os, "replace", recording_replace)
+        save_snapshot(make_snapshot(1), str(tmp_path / "ckpt.npz"))
+        # File contents are durable before the rename publishes them,
+        # and the directory entry is synced after.
+        assert synced[0] == "fsync"
+        assert "replace" in synced
+        assert synced.index("fsync") < synced.index("replace")
+        assert synced.index("replace") < len(synced) - 1  # dir fsync after
+
+
+class TestTornFinalFiles:
+    def test_truncation_at_random_offsets_is_always_detected(self, tmp_path):
+        """If the final file itself is torn (lost fsync, dying disk), the
+        checksummed manifest must refuse it — never silently load."""
+        path = tmp_path / "ckpt.npz"
+        save_snapshot(make_snapshot(3), str(path))
+        payload = path.read_bytes()
+        rng = np.random.default_rng(11)
+        offsets = sorted(set(int(x) for x in rng.integers(1, len(payload) - 1, size=16)))
+        for offset in offsets:
+            torn = tmp_path / f"torn-{offset}.npz"
+            torn.write_bytes(payload[:offset])
+            with pytest.raises(CheckpointError):
+                load_snapshot(str(torn))
+
+    def test_flipped_bytes_fail_checksum(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_snapshot(make_snapshot(4), str(path))
+        payload = bytearray(path.read_bytes())
+        # Flip bytes inside the payload body (past the zip local header).
+        payload[len(payload) // 2] ^= 0xFF
+        torn = tmp_path / "flipped.npz"
+        torn.write_bytes(bytes(payload))
+        with pytest.raises(CheckpointError):
+            load_snapshot(str(torn))
+
+    def test_intact_file_round_trips(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_snapshot(make_snapshot(5), str(path))
+        assert_is_version(load_snapshot(str(path)), 5)

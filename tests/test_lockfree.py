@@ -1,5 +1,7 @@
 """Lock-free updating mechanism: buffers, staleness loop, threaded trainer."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -155,3 +157,55 @@ class TestThreadedTrainer:
         opt = MixedPrecisionAdam(model.parameters())
         with pytest.raises(ConfigurationError):
             LockFreeTrainer(model, opt, sweep_delay=-1.0)
+
+
+class TestUpdaterFailure:
+    """An updater-thread crash must surface on the main thread — never a
+    silent death, a hung join, or dirty buffers (the threaded.py bugfix)."""
+
+    def _crashing_optimizer(self, fail_after=1):
+        """The crash only fires on the updater thread — the realistic
+        failure mode where the main-thread sync path still works."""
+        model = tiny_model(seed=3)
+        opt = MixedPrecisionAdam(model.parameters(), lr=1e-3)
+        real_apply = opt.apply_gradient
+        calls = {"n": 0}
+        main = threading.main_thread()
+
+        def exploding_apply(index, grad):
+            if threading.current_thread() is not main:
+                calls["n"] += 1
+                if calls["n"] > fail_after:
+                    raise RuntimeError("injected updater crash")
+            return real_apply(index, grad)
+
+        opt.apply_gradient = exploding_apply
+        return model, opt
+
+    def test_crash_is_reraised_on_main_thread(self):
+        model, opt = self._crashing_optimizer()
+        trainer = LockFreeTrainer(model, opt)
+        with pytest.raises(RuntimeError, match="injected updater crash"):
+            trainer.train(lm_synthetic_batches(16, 8, 4, 20, seed=4))
+        assert isinstance(trainer.update_error, RuntimeError)
+
+    def test_fallback_to_sync_finishes_training(self):
+        model, opt = self._crashing_optimizer()
+        trainer = LockFreeTrainer(model, opt, fallback_to_sync=True)
+        log = trainer.train(lm_synthetic_batches(16, 8, 4, 20, seed=4))
+        assert log.iterations == 20
+        assert len(log.losses) == 20
+        assert trainer.fell_back
+        assert isinstance(trainer.update_error, RuntimeError)
+        # Degraded synchronous sweeps still drain every buffer.
+        assert not trainer._buffers.has_uncleared
+        assert log.sweeps >= 1
+
+    def test_healthy_run_does_not_fall_back(self):
+        model = tiny_model(seed=3)
+        opt = MixedPrecisionAdam(model.parameters(), lr=1e-3)
+        trainer = LockFreeTrainer(model, opt, fallback_to_sync=True)
+        log = trainer.train(lm_synthetic_batches(16, 8, 4, 10, seed=4))
+        assert not trainer.fell_back
+        assert trainer.update_error is None
+        assert log.iterations == 10
