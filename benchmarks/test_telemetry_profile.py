@@ -1,0 +1,52 @@
+"""Bench: telemetry profile — the ``repro profile`` harness end to end.
+
+Not a paper table: this benchmark exercises the observability stack the
+way CI's smoke job does, and asserts the acceptance properties — a
+Perfetto-openable trace with the four engine tracks, nonzero byte
+counters on every exercised (src-tier, dst-tier) edge, and a JSON-clean
+``BENCH_telemetry.json`` payload.
+"""
+
+import json
+
+from repro.telemetry.bench import ProfileConfig, run_profile
+from repro.telemetry.chrome import named_tracks
+
+
+def test_telemetry_profile(run_once):
+    config = ProfileConfig(steps=5)
+    report, telemetry = run_once(run_profile, config)
+
+    train = report["train"]
+    assert train["steps_per_second"] > 0
+    assert train["final_loss"] is not None
+
+    # Page traffic crossed the GPU<->CPU edge in both directions (the
+    # tight default GPU budget forces evictions).
+    edges = report["per_tier_edge_bytes"]
+    assert "pages.moved_bytes{dst=gpu,src=cpu}" in edges
+    assert "pages.moved_bytes{dst=cpu,src=gpu}" in edges
+    assert all(v > 0 for v in edges.values())
+
+    counters = report["telemetry"]["metrics"]["counters"]
+    assert counters["pages.evictions"] > 0
+    assert counters["engine.steps"] == config.steps
+    assert any(k.startswith("io.read_bytes") for k in counters)
+
+    # The analytic simulator ran on the same telemetry, so its planning
+    # spans share the trace with the functional engine's.
+    trace = telemetry.tracer.to_chrome_trace(
+        track_order=["train", "updater", "pcie", "scheduler"]
+    )
+    tracks = named_tracks(trace)
+    assert {"train", "updater", "pcie", "scheduler"} <= set(tracks)
+    assert len(tracks) >= 4
+
+    # Overhead accounting is present (enabled vs disabled run).
+    assert report["overhead"] is not None
+    assert report["overhead"]["disabled_seconds"] > 0
+
+    json.dumps(report)  # BENCH_telemetry.json must serialize as-is
+    print(f"\nsteps/s: {train['steps_per_second']:.2f}  "
+          f"tracks: {tracks}  "
+          f"edge bytes: {sum(edges.values()) / 2**20:.2f} MiB")

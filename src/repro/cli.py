@@ -128,10 +128,54 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.telemetry.bench import ProfileConfig, run_profile, save_profile
+
+    if args.steps < 1:
+        print("profile: --steps must be >= 1", file=sys.stderr)
+        return 2
+    config = ProfileConfig(
+        steps=args.steps,
+        layers=args.layers,
+        seed=args.seed,
+        lock_free=args.lock_free,
+        measure_overhead=not args.no_overhead,
+    )
+    report, telemetry = run_profile(config)
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    bench_path = outdir / "BENCH_telemetry.json"
+    trace_path = outdir / "telemetry_trace.json"
+    save_profile(report, bench_path)
+    telemetry.tracer.save_chrome_trace(
+        trace_path, track_order=["train", "updater", "pcie", "scheduler"]
+    )
+    train = report["train"]
+    print(f"steps           : {train['steps']} in {train['elapsed_seconds']:.3f}s "
+          f"({train['steps_per_second']:.2f} steps/s)")
+    sim = report["simulated"]
+    print(f"simulated       : {sim['model']} -> "
+          f"{sim['samples_per_second']:.2f} samples/s")
+    print("per-tier traffic:")
+    for key, value in sorted(report["per_tier_edge_bytes"].items()):
+        print(f"  {key:<40} {value / MiB:8.2f} MiB")
+    if report["overhead"] is not None:
+        print(f"span overhead   : "
+              f"{report['overhead']['overhead_fraction']:+.1%} vs disabled")
+    print(f"span records    : {len(telemetry.tracer.records)}")
+    print(f"wrote           : {bench_path}")
+    print(f"wrote           : {trace_path}  (open in Perfetto / "
+          f"chrome://tracing)")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import tempfile
 
     from repro.resilience import AvailabilityModel, ChaosConfig, run_chaos, run_reference
+    from repro.telemetry import Telemetry
 
     if args.steps < 1:
         print("chaos: --steps must be >= 1", file=sys.stderr)
@@ -158,7 +202,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     seed=args.seed, layers=args.layers)
     )
     workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
-    report = run_chaos(config, workdir)
+    telemetry = Telemetry()
+    report = run_chaos(config, workdir, telemetry=telemetry)
     print(f"steps completed : {report.steps_completed} "
           f"({report.step_attempts} attempts)")
     print(f"world size      : {config.world_size} -> {report.final_world_size}")
@@ -171,10 +216,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               f"{record.tier}{detail}")
     if not report.fault_log:
         print("  (none)")
-    print("counters        :")
-    for name, value in report.counters.as_dict().items():
+    # Fault counters and retry latencies share one registry; dump the
+    # unified view (faults.*, retry.* and anything else that moved).
+    dump = telemetry.dump()["metrics"]
+    print("unified metrics :")
+    for name, value in sorted(dump["counters"].items()):
         if value:
-            print(f"  {name:<22} {value}")
+            print(f"  {name:<24} {value}")
+    for name, summary in sorted(dump["histograms"].items()):
+        print(f"  {name:<24} n={summary['count']} "
+              f"mean={summary['mean']:.2e}s p95={summary['p95']:.2e}s")
     delta = abs(report.final_loss - reference[-1])
     print(f"final loss      : {report.final_loss:.4f} "
           f"(fault-free {reference[-1]:.4f}, |delta| {delta:.4f})")
@@ -268,6 +319,21 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--restart-time", type=float, default=300.0)
     chaos.add_argument("--mtbf", type=float, default=12 * 3600.0)
     chaos.set_defaults(func=_cmd_chaos)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile the functional engine; writes BENCH_telemetry.json "
+             "and a Chrome trace",
+    )
+    profile.add_argument("--steps", type=int, default=10)
+    profile.add_argument("--layers", type=int, default=2)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--lock-free", action="store_true")
+    profile.add_argument("--no-overhead", action="store_true",
+                         help="skip the telemetry-disabled comparison run")
+    profile.add_argument("--outdir", default=".",
+                         help="where BENCH_telemetry.json and the trace go")
+    profile.set_defaults(func=_cmd_profile)
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", help="e.g. table5, figure8, ablation_page_size")

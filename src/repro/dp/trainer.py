@@ -45,9 +45,17 @@ class ZeroDataParallelTrainer:
         num_ranks: int,
         lr: float = 1e-3,
         mixed_precision: bool = True,
+        telemetry=None,
     ):
         if num_ranks <= 0:
             raise ConfigurationError("num_ranks must be positive")
+        if telemetry is None:
+            from repro.telemetry.core import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        #: repro.telemetry.Telemetry: collective byte counters mirror
+        #: CommStats so the unified registry sees ZeRO traffic too.
+        self.telemetry = telemetry
         self.num_ranks = num_ranks
         self.mixed_precision = mixed_precision
         self.replicas = [model_factory() for _ in range(num_ranks)]
@@ -81,20 +89,31 @@ class ZeroDataParallelTrainer:
     # ------------------------------------------------------------------
     def train_step(self, batch: Batch) -> float:
         """Run one data-parallel iteration; returns the mean loss."""
-        micro_batches = self._split(batch)
-        losses = []
-        for rank, micro in enumerate(micro_batches):
-            model = self.replicas[rank]
-            logits = model(micro.inputs, self.mixed_precision)
-            loss = cross_entropy(logits, micro.targets)
-            model.zero_grad()
-            loss.backward()
-            losses.append(loss.item())
+        with self.telemetry.span(
+            f"dp_step/{self.comm.iterations}", track="train"
+        ):
+            micro_batches = self._split(batch)
+            losses = []
+            for rank, micro in enumerate(micro_batches):
+                model = self.replicas[rank]
+                logits = model(micro.inputs, self.mixed_precision)
+                loss = cross_entropy(logits, micro.targets)
+                model.zero_grad()
+                loss.backward()
+                losses.append(loss.item())
 
-        self._all_reduce_gradients()
-        self._owner_updates()
-        self._gather_parameters()
-        self.comm.iterations += 1
+            before_reduce = self.comm.allreduce_bytes
+            before_gather = self.comm.gather_bytes
+            self._all_reduce_gradients()
+            self._owner_updates()
+            self._gather_parameters()
+            self.comm.iterations += 1
+            self.telemetry.record_collective(
+                "all_reduce", self.comm.allreduce_bytes - before_reduce
+            )
+            self.telemetry.record_collective(
+                "all_gather", self.comm.gather_bytes - before_gather
+            )
         return float(np.mean(losses))
 
     def _split(self, batch: Batch) -> list[Batch]:

@@ -56,6 +56,11 @@ class AngelConfig:
     #: Optional repro.resilience.RetryPolicy absorbing transient tier I/O
     #: errors on page moves and FP32-state round trips.
     retry_policy: object | None = None
+    #: Optional repro.telemetry.Telemetry: spans for forward/backward and
+    #: update sweeps, per-(src, dst) page-traffic counters, cache hit
+    #: rates and sweep-latency histograms. ``None`` keeps the engine on
+    #: the no-op fast path.
+    telemetry: object | None = None
 
     def __post_init__(self) -> None:
         if self.update_interval < 1:
@@ -97,26 +102,38 @@ class AngelModel:
         self._clock = 0
         self._iteration = 0
         self._pending = 0
+        if config.telemetry is not None:
+            self.telemetry = config.telemetry
+        else:
+            # Deferred import keeps the default construction path light.
+            from repro.telemetry.core import NULL_TELEMETRY
+
+            self.telemetry = NULL_TELEMETRY
+        telemetry = self.telemetry if self.telemetry.enabled else None
 
         pools = {
             DeviceKind.GPU: DevicePool(
-                DeviceKind.GPU, config.gpu_memory_bytes, config.page_bytes, backend="ram"
+                DeviceKind.GPU, config.gpu_memory_bytes, config.page_bytes,
+                backend="ram", telemetry=telemetry,
             ),
             DeviceKind.CPU: DevicePool(
-                DeviceKind.CPU, config.cpu_memory_bytes, config.page_bytes, backend="ram"
+                DeviceKind.CPU, config.cpu_memory_bytes, config.page_bytes,
+                backend="ram", telemetry=telemetry,
             ),
         }
         if config.ssd_bytes:
             pools[DeviceKind.SSD] = DevicePool(
                 DeviceKind.SSD, config.ssd_bytes, config.page_bytes,
-                backend="file", file_path=config.ssd_path,
+                backend="file", file_path=config.ssd_path, telemetry=telemetry,
             )
             if config.fault_plan is not None:
                 # Deferred import: repro.resilience builds on this engine.
                 from repro.resilience.faults import inject_faults
 
                 inject_faults(pools[DeviceKind.SSD], config.fault_plan, tier="ssd")
-        self.allocator = PageAllocator(pools, retry_policy=config.retry_policy)
+        self.allocator = PageAllocator(
+            pools, retry_policy=config.retry_policy, telemetry=telemetry
+        )
         self._state_tier = DeviceKind.SSD if config.ssd_bytes else DeviceKind.CPU
 
         self._managed: list[_Managed] = []
@@ -135,6 +152,10 @@ class AngelModel:
         self._module_of_id: dict[int, Module] = {}
         self.prefetch_hits = 0
         self.demand_fetches = 0
+        # GPU-cache and eviction counters, fetched once (identity-stable).
+        self._hits_counter = self.telemetry.counter("cache.prefetch_hits")
+        self._demand_counter = self.telemetry.counter("cache.demand_fetches")
+        self._evict_counter = self.telemetry.counter("pages.evictions")
 
     # ------------------------------------------------------------------
     # Registration and hooks
@@ -178,8 +199,10 @@ class AngelModel:
         for managed in needed:
             if managed.fp16.device_kind == DeviceKind.GPU:
                 self.prefetch_hits += 1
+                self._hits_counter.inc()
             else:
                 self.demand_fetches += 1
+                self._demand_counter.inc()
             self._fetch(managed, pinned={m.index for m in needed})
         self._prefetch_next(pinned={m.index for m in needed})
 
@@ -237,6 +260,7 @@ class AngelModel:
                 victim = self._pick_victim(pinned)
                 if victim is None:
                     raise
+                self._evict_counter.inc()
                 victim.fp16.move(DeviceKind.CPU)
 
     def _pick_victim(self, pinned: set[int]) -> _Managed | None:
@@ -253,14 +277,20 @@ class AngelModel:
     # Figure 6 training API
     # ------------------------------------------------------------------
     def __call__(self, batch: Batch) -> Tensor:
-        logits = self.module(batch.inputs, self.config.mixed_precision)
-        return cross_entropy(logits, batch.targets)
+        with self.telemetry.span(
+            f"fwd/iter{self._iteration}", track="train"
+        ):
+            logits = self.module(batch.inputs, self.config.mixed_precision)
+            return cross_entropy(logits, batch.targets)
 
     def backward(self, loss: Tensor) -> None:
-        self.module.zero_grad()
-        loss.backward()
-        # Offload gradients to the CPU buffers (Algorithm 2, line 24).
-        self._buffers.accumulate_all([m.param for m in self._managed])
+        with self.telemetry.span(
+            f"bwd/iter{self._iteration}", track="train"
+        ):
+            self.module.zero_grad()
+            loss.backward()
+            # Offload gradients to the CPU buffers (Algorithm 2, line 24).
+            self._buffers.accumulate_all([m.param for m in self._managed])
 
     def step(self) -> bool:
         """Run (or defer) the optimizer pass; returns True if it ran."""
@@ -272,6 +302,7 @@ class AngelModel:
             self._order_recorded = True
             self._module_cursor = 0
         interval = self.config.update_interval if self.config.lock_free else 1
+        self.telemetry.counter("engine.steps").inc()
         if self._pending < interval:
             return False
         self._update_sweep()
@@ -281,6 +312,17 @@ class AngelModel:
     def _update_sweep(self) -> None:
         """One updating-thread pass: page in FP32 states, apply Adam,
         page out (Algorithm 2, lines 2-7)."""
+        telemetry = self.telemetry
+        started = telemetry.clock.perf() if telemetry.enabled else 0.0
+        with telemetry.span(f"update_sweep/iter{self._iteration}", track="updater"):
+            self._sweep_body()
+        if telemetry.enabled:
+            telemetry.histogram("updater.sweep_seconds").observe(
+                telemetry.clock.perf() - started
+            )
+            telemetry.counter("engine.update_sweeps").inc()
+
+    def _sweep_body(self) -> None:
         opt = self.optimizer
         opt.bump_step()
         for managed in reversed(self._managed):

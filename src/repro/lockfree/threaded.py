@@ -40,6 +40,7 @@ class LockFreeTrainer:
         mixed_precision: bool = True,
         sweep_delay: float = 0.0,
         fallback_to_sync: bool = False,
+        telemetry=None,
     ):
         if sweep_delay < 0:
             raise ConfigurationError("sweep_delay must be >= 0")
@@ -48,6 +49,14 @@ class LockFreeTrainer:
         self.mixed_precision = mixed_precision
         self.sweep_delay = sweep_delay
         self.fallback_to_sync = fallback_to_sync
+        if telemetry is None:
+            from repro.telemetry.core import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        #: repro.telemetry.Telemetry: GPU-loop spans on the calling
+        #: thread's track, sweep spans on the updating thread's track, and
+        #: an ``updater.sweep_seconds`` latency histogram.
+        self.telemetry = telemetry
         self._params = model.parameters()
         self._buffers = GradientBuffers(self._params)
         self._stop = threading.Event()
@@ -72,21 +81,29 @@ class LockFreeTrainer:
 
     def _sweep_once(self) -> None:
         """One update sweep over all layers (shared by both paths)."""
+        telemetry = self.telemetry
+        started = telemetry.clock.perf() if telemetry.enabled else 0.0
         # Bias correction advances once per sweep, before any layer
         # applies (Adam's t must be >= 1 when gradients are folded in).
-        self.optimizer.bump_step()
-        did_work = False
-        for index in reversed(range(len(self._params))):
-            grad, count = self._buffers.drain(index)
-            if count == 0:
-                continue
-            did_work = True
-            refreshed = self.optimizer.apply_gradient(index, grad / count)
-            self._params[index].data[...] = refreshed
-        if did_work:
-            self._sweeps += 1
-            if self.sweep_delay:
-                time.sleep(self.sweep_delay)  # emulated SSD I/O
+        with telemetry.span(f"update_sweep/{self._sweeps}", track="updater"):
+            self.optimizer.bump_step()
+            did_work = False
+            for index in reversed(range(len(self._params))):
+                grad, count = self._buffers.drain(index)
+                if count == 0:
+                    continue
+                did_work = True
+                refreshed = self.optimizer.apply_gradient(index, grad / count)
+                self._params[index].data[...] = refreshed
+            if did_work:
+                self._sweeps += 1
+                if self.sweep_delay:
+                    time.sleep(self.sweep_delay)  # emulated SSD I/O
+        if did_work and telemetry.enabled:
+            telemetry.histogram("updater.sweep_seconds").observe(
+                telemetry.clock.perf() - started
+            )
+            telemetry.counter("engine.update_sweeps").inc()
 
     # ------------------------------------------------------------------
     # Failure surfacing / degradation
@@ -107,7 +124,9 @@ class LockFreeTrainer:
         log = TrainLog()
         self.update_error = None
         self.fell_back = False
-        updater = threading.Thread(target=self._update_loop, daemon=True)
+        updater = threading.Thread(
+            target=self._update_loop, daemon=True, name="updater"
+        )
         updater.start()
         try:
             for batch in batches:

@@ -30,6 +30,7 @@ class PageAllocator:
         self,
         pools: dict[DeviceKind, DevicePool],
         retry_policy=None,
+        telemetry=None,
     ):
         if not pools:
             raise AllocationError("at least one device pool is required")
@@ -40,6 +41,13 @@ class PageAllocator:
         #: Optional repro.resilience RetryPolicy applied to page moves, the
         #: cross-tier I/O most exposed to transient SSD/file faults.
         self.retry_policy = retry_policy
+        if telemetry is None:
+            from repro.telemetry.core import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        #: repro.telemetry.Telemetry recording per-(src, dst) page traffic
+        #: and bracketing tensor moves with spans (disabled by default).
+        self.telemetry = telemetry
         self.page_bytes = page_sizes.pop()
         self._tensor_ids = itertools.count()
         self._tensors: dict[int, PagedTensor] = {}
@@ -149,13 +157,21 @@ class PageAllocator:
         """Move every page of ``tensor`` to ``device`` (co-tenants come too)."""
         tensor._check_live()
         target = self.pool(device)
-        for page in tensor.page_list:
-            if page.pool is not target:
-                self._forget_shared(page)
-                if self.retry_policy is not None:
-                    self.retry_policy.run(lambda p=page: p.move(target))
-                else:
-                    page.move(target)
+        telemetry = self.telemetry
+        with telemetry.span(
+            f"move.to_{device.name.lower()}", track="pcie", tensor=tensor.tensor_id
+        ):
+            for page in tensor.page_list:
+                if page.pool is not target:
+                    self._forget_shared(page)
+                    src = page.pool.device_kind
+                    if self.retry_policy is not None:
+                        self.retry_policy.run(lambda p=page: p.move(target))
+                    else:
+                        page.move(target)
+                    telemetry.record_page_move(
+                        src.name.lower(), device.name.lower(), page.total_bytes
+                    )
 
     def drop_pool(self, device: DeviceKind) -> None:
         """Remove a (dead) tier's pool; no live tensor may still use it.

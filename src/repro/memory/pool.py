@@ -37,10 +37,16 @@ class _Storage:
 
     def read(self, offset: int, nbytes: int) -> bytes:
         self._check_range(offset, nbytes)
+        counter = self.pool._read_bytes
+        if counter is not None:
+            counter.inc(nbytes)
         return self.pool._backend.read(self.index, offset, nbytes)
 
     def write(self, offset: int, data: bytes) -> None:
         self._check_range(offset, len(data))
+        counter = self.pool._write_bytes
+        if counter is not None:
+            counter.inc(len(data))
         self.pool._backend.write(self.index, offset, data)
 
     def _check_range(self, offset: int, nbytes: int) -> None:
@@ -139,10 +145,20 @@ class DevicePool:
         backend: str = "ram",
         file_path: str | None = None,
         name: str | None = None,
+        telemetry=None,
     ):
         if capacity_bytes < page_bytes:
             raise AllocationError("pool capacity smaller than one page")
         self.device_kind = device_kind
+        # Physical-I/O accounting: one counter pair per tier, fetched once
+        # so the per-access cost is a None check (repro.telemetry).
+        tier = device_kind.name.lower()
+        if telemetry is not None and getattr(telemetry, "enabled", False):
+            self._read_bytes = telemetry.counter("io.read_bytes", tier=tier)
+            self._write_bytes = telemetry.counter("io.write_bytes", tier=tier)
+        else:
+            self._read_bytes = None
+            self._write_bytes = None
         self.page_bytes = page_bytes
         self.num_pages = capacity_bytes // page_bytes
         self.capacity_bytes = self.num_pages * page_bytes

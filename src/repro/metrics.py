@@ -8,10 +8,11 @@ analysis — and can snapshot an AngelModel's per-tier page usage alongside.
 from __future__ import annotations
 
 import csv
-import time
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.telemetry.clock import WALL_CLOCK, Clock
+from repro.telemetry.registry import MetricsRegistry
 
 
 @dataclass
@@ -29,7 +30,15 @@ class StepRecord:
     ssd_pages: int = 0
 
 
-@dataclass
+#: The fault/cure vocabulary, in export order.
+_FAULT_FIELDS = (
+    "retries", "transient_faults", "torn_writes",
+    "latency_injections", "tier_deaths", "degradations",
+    "rank_failures", "recoveries", "updater_fallbacks",
+    "checkpoints_saved", "checkpoints_restored", "reshards",
+)
+
+
 class FaultCounters:
     """Resilience observability: every fault seen and every cure applied.
 
@@ -37,31 +46,48 @@ class FaultCounters:
     ``repro.resilience`` so chaos tests (and operators) can assert exactly
     what happened during a run — Section 3.1's fault tolerance made
     countable.
+
+    This is a thin compatibility view over ``faults.*`` counters in a
+    :class:`~repro.telemetry.registry.MetricsRegistry`: attribute reads
+    and writes go straight to the registry, so fault counts share one
+    export path with page-traffic and retry-latency telemetry. Pass the
+    run's registry (e.g. ``Telemetry().registry``) to join it; the
+    default is a private registry, preserving the old standalone usage.
     """
 
-    retries: int = 0
-    transient_faults: int = 0
-    torn_writes: int = 0
-    latency_injections: int = 0
-    tier_deaths: int = 0
-    degradations: int = 0
-    rank_failures: int = 0
-    recoveries: int = 0
-    updater_fallbacks: int = 0
-    checkpoints_saved: int = 0
-    checkpoints_restored: int = 0
-    reshards: int = 0
+    def __init__(self, registry: MetricsRegistry | None = None, **initial: int):
+        object.__setattr__(
+            self, "_registry",
+            registry if registry is not None else MetricsRegistry(),
+        )
+        for name in _FAULT_FIELDS:
+            self._registry.counter(f"faults.{name}")
+        for name, value in initial.items():
+            if name not in _FAULT_FIELDS:
+                raise ConfigurationError(f"unknown fault counter {name!r}")
+            setattr(self, name, value)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    def __getattr__(self, name: str) -> int:
+        if name in _FAULT_FIELDS:
+            return self._registry.counter(f"faults.{name}").value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in _FAULT_FIELDS:
+            self._registry.counter(f"faults.{name}")._force(int(value))
+        else:
+            object.__setattr__(self, name, value)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"FaultCounters({inner})"
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            name: getattr(self, name)
-            for name in (
-                "retries", "transient_faults", "torn_writes",
-                "latency_injections", "tier_deaths", "degradations",
-                "rank_failures", "recoveries", "updater_fallbacks",
-                "checkpoints_saved", "checkpoints_restored", "reshards",
-            )
-        }
+        return {name: getattr(self, name) for name in _FAULT_FIELDS}
 
     def absorb_plan(self, plan) -> None:
         """Fold a FaultPlan's injection log into these counters."""
@@ -79,10 +105,11 @@ class MetricsRecorder:
 
     records: list[StepRecord] = field(default_factory=list)
     resilience: FaultCounters | None = None
+    clock: Clock = field(default_factory=lambda: WALL_CLOCK)
     _step_started: float | None = field(default=None, repr=False)
 
     def start_step(self) -> None:
-        self._step_started = time.perf_counter()
+        self._step_started = self.clock.perf()
 
     def end_step(
         self,
@@ -95,7 +122,7 @@ class MetricsRecorder:
         """Close the step opened by :meth:`start_step` and record it."""
         if self._step_started is None:
             raise ConfigurationError("end_step() called without start_step()")
-        elapsed = time.perf_counter() - self._step_started
+        elapsed = self.clock.perf() - self._step_started
         self._step_started = None
         pages = {"gpu": 0, "cpu": 0, "ssd": 0}
         if engine is not None:

@@ -128,12 +128,21 @@ def run_chaos(
     checkpoint_dir: str,
     bus=None,
     counters: FaultCounters | None = None,
+    telemetry=None,
 ) -> ChaosReport:
-    """Run the scenario under supervision; returns the ChaosReport."""
+    """Run the scenario under supervision; returns the ChaosReport.
+
+    When ``telemetry`` is given, fault counters and retry latencies flow
+    through its metrics registry — ``telemetry.dump()`` afterwards is one
+    unified view of ``faults.*``, ``retry.*`` and any span breakdowns.
+    """
     plan = make_fault_plan(config)
     policy = RetryPolicy(
-        max_attempts=6, base_delay=1e-4, max_delay=2e-3, seed=config.seed
+        max_attempts=6, base_delay=1e-4, max_delay=2e-3, seed=config.seed,
+        telemetry=telemetry,
     )
+    if telemetry is not None and counters is None:
+        counters = FaultCounters(registry=telemetry.registry)
     trainer = ResilientTrainer(
         engine_factory(config, plan, policy),
         checkpoint_dir=checkpoint_dir,

@@ -6,16 +6,18 @@ I/O errors are absorbed here; permanent failures (``TierFailedError``,
 and recovery layers above.
 
 Jitter is drawn from a seeded RNG so chaos runs are bit-reproducible, and
-``sleep`` is injectable so tests pay no wall-clock cost.
+time comes from an injectable :class:`~repro.telemetry.clock.Clock` —
+with a :class:`~repro.telemetry.clock.ManualClock` the backoff schedule
+and deadline arithmetic are testable deterministically, without sleeping.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 import random
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, RetryExhaustedError, TransientIOError
+from repro.telemetry.clock import WALL_CLOCK, Clock
 
 
 @dataclass
@@ -35,8 +37,17 @@ class RetryPolicy:
     deadline: float | None = None
     seed: int = 0
     retry_on: tuple = (TransientIOError,)
-    sleep: object = time.sleep
+    #: Time source for deadlines and backoff sleeps; a ManualClock makes
+    #: both deterministic.
+    clock: Clock = None
+    #: Explicit sleep callable; overrides ``clock.sleep`` when given
+    #: (legacy injection point, kept for compatibility).
+    sleep: object = None
     on_retry: object = None  # callable(attempt, exc, delay) or None
+    #: Optional repro.telemetry.Telemetry: every retry increments the
+    #: ``retry.attempts`` counter and lands its backoff delay in the
+    #: ``retry.backoff_seconds`` histogram.
+    telemetry: object = None
 
     #: Total retries performed over this policy's lifetime (observability).
     retries: int = field(default=0, init=False)
@@ -47,6 +58,10 @@ class RetryPolicy:
             raise ConfigurationError("max_attempts must be >= 1")
         if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
             raise ConfigurationError("delays and jitter must be >= 0")
+        if self.clock is None:
+            self.clock = WALL_CLOCK
+        if self.sleep is None:
+            self.sleep = self.clock.sleep
         self._rng = random.Random(self.seed)
 
     def backoff(self, attempt: int) -> float:
@@ -56,7 +71,7 @@ class RetryPolicy:
 
     def run(self, fn):
         """Call ``fn`` under this policy and return its result."""
-        start = time.monotonic()
+        start = self.clock.monotonic()
         attempt = 1
         while True:
             try:
@@ -67,10 +82,14 @@ class RetryPolicy:
                 delay = self.backoff(attempt)
                 if (
                     self.deadline is not None
-                    and time.monotonic() - start + delay > self.deadline
+                    and self.clock.monotonic() - start + delay > self.deadline
                 ):
                     raise RetryExhaustedError(attempt, exc) from exc
                 self.retries += 1
+                if self.telemetry is not None:
+                    self.telemetry.counter("retry.attempts").inc()
+                    self.telemetry.histogram("retry.backoff_seconds").observe(delay)
+                    self.telemetry.instant("retry", error=type(exc).__name__)
                 if self.on_retry is not None:
                     self.on_retry(attempt, exc, delay)
                 if delay > 0:

@@ -60,12 +60,20 @@ class ScheduleExecutor:
         page_bytes: int,
         backend: str = "null",
         retry_policy=None,
+        telemetry=None,
     ):
         self.plan = plan
         self.page_bytes = page_bytes
         #: Optional repro.resilience RetryPolicy: transient faults during
         #: page staging are absorbed without invalidating the schedule.
         self.retry_policy = retry_policy
+        if telemetry is None:
+            from repro.telemetry.core import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        #: repro.telemetry.Telemetry: replay spans, per-edge page traffic
+        #: (via the allocator) and all-gather byte counters.
+        self.telemetry = telemetry
         cpu_capacity = max(
             2 * sum(t.shard_bytes for t in plan.layer_pages) + 64 * page_bytes,
             4 * page_bytes,
@@ -83,11 +91,16 @@ class ScheduleExecutor:
                 ),
             },
             retry_policy=retry_policy,
+            telemetry=telemetry if telemetry.enabled else None,
         )
         self.bus = EventBus()
 
     # ------------------------------------------------------------------
     def run(self) -> ExecutionReport:
+        with self.telemetry.span("schedule_replay", track="executor"):
+            return self._run()
+
+    def _run(self) -> ExecutionReport:
         plan = self.plan
         trace = plan.trace
         gpu_pool = self.allocator.pool(DeviceKind.GPU)
@@ -163,6 +176,7 @@ class ScheduleExecutor:
                         share_tail=False,
                     )
                     report.gathers_executed += 1
+                    self.telemetry.record_collective("all_gather", task.nbytes)
                     self.bus.complete(f"gather.op{task.op_id}")
                 track_peak()
 
@@ -215,6 +229,7 @@ class ScheduleExecutor:
             track_peak()
 
         report.events_fired = len(self.bus._events)
+        self.telemetry.counter("events.fired").inc(report.events_fired)
         for tensor in page_tensors.values():
             tensor.release()
         return report

@@ -42,6 +42,7 @@ def plan_gpu_cache(
     num_ranks: int,
     use_recompute: bool = True,
     safety_fraction: float = 0.05,
+    telemetry=None,
 ) -> CachePlan:
     """Choose the optimizer-state layers to pin in GPU memory.
 
@@ -71,6 +72,9 @@ def plan_gpu_cache(
         cached.add(layer.layer_index)
         layer_bytes[layer.layer_index] = optim_shard
         total += optim_shard
+    if telemetry is not None:
+        telemetry.gauge("cache.layers_cached").set(len(cached))
+        telemetry.gauge("cache.bytes").set(total)
     return CachePlan(
         cached_layers=frozenset(cached), cache_bytes=total, layer_bytes=layer_bytes
     )

@@ -91,6 +91,7 @@ class UnifiedScheduler:
         use_recompute: bool = True,
         gpu_reserve_fraction: float = 0.08,
         cost_model: CostModel | None = None,
+        telemetry=None,
     ):
         self.cluster = cluster
         self.page_bytes = page_bytes
@@ -100,7 +101,16 @@ class UnifiedScheduler:
         self.gpu_reserve_fraction = gpu_reserve_fraction
         server = cluster.server
         self.cost = cost_model or CostModel(gpu=server.gpus[0], cpu=server.cpu)
-        self.collectives = CollectiveModel(cluster)
+        if telemetry is None:
+            from repro.telemetry.core import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        #: repro.telemetry.Telemetry: planning/simulation spans, cache-plan
+        #: gauges and simulated collective byte counters.
+        self.telemetry = telemetry
+        self.collectives = CollectiveModel(
+            cluster, telemetry=telemetry if telemetry.enabled else None
+        )
 
     # ------------------------------------------------------------------
     # Planning
@@ -114,31 +124,33 @@ class UnifiedScheduler:
 
     def plan(self, config: ModelConfig, micro_batch: int, seq_len: int = 2048) -> IterationPlan:
         """Trace the model, size the GPU cache and run Algorithm 1."""
-        num_ranks = self.cluster.num_gpus
-        model = config.build(batch_size=micro_batch, seq_len=seq_len)
-        tracer = Tracer(self.cost, use_recompute=self.use_recompute)
-        trace = tracer.trace(model)
-        layer_pages = build_layer_pages(trace, num_ranks, self.page_bytes)
-        cache = plan_gpu_cache(
-            trace, layer_pages, self.gpu_budget, num_ranks,
-            use_recompute=self.use_recompute,
-        )
-        memory = MemoryModel(
-            trace,
-            self.gpu_budget,
-            num_ranks=num_ranks,
-            cache_bytes=cache.cache_bytes,
-            use_recompute=self.use_recompute,
-        )
-        schedule = LifetimeScheduler(trace, layer_pages, memory).schedule()
-        return IterationPlan(
-            trace=trace,
-            schedule=schedule,
-            cache=cache,
-            layer_pages=layer_pages,
-            num_ranks=num_ranks,
-            micro_batch=micro_batch,
-        )
+        with self.telemetry.span(f"plan/{config.name}", track="scheduler"):
+            num_ranks = self.cluster.num_gpus
+            model = config.build(batch_size=micro_batch, seq_len=seq_len)
+            tracer = Tracer(self.cost, use_recompute=self.use_recompute)
+            trace = tracer.trace(model)
+            layer_pages = build_layer_pages(trace, num_ranks, self.page_bytes)
+            cache = plan_gpu_cache(
+                trace, layer_pages, self.gpu_budget, num_ranks,
+                use_recompute=self.use_recompute,
+                telemetry=self.telemetry if self.telemetry.enabled else None,
+            )
+            memory = MemoryModel(
+                trace,
+                self.gpu_budget,
+                num_ranks=num_ranks,
+                cache_bytes=cache.cache_bytes,
+                use_recompute=self.use_recompute,
+            )
+            schedule = LifetimeScheduler(trace, layer_pages, memory).schedule()
+            return IterationPlan(
+                trace=trace,
+                schedule=schedule,
+                cache=cache,
+                layer_pages=layer_pages,
+                num_ranks=num_ranks,
+                micro_batch=micro_batch,
+            )
 
     def validate(self, plan: IterationPlan):
         """Replay ``plan`` against physical page pools (see
@@ -190,6 +202,19 @@ class UnifiedScheduler:
         and reports the marginal (steady-state) iteration time, which is
         what long pre-training runs actually observe.
         """
+        with self.telemetry.span("simulate_plan", track="scheduler"):
+            return self._simulate_plan(
+                plan, use_ssd=use_ssd, lock_free=lock_free,
+                steady_state=steady_state,
+            )
+
+    def _simulate_plan(
+        self,
+        plan: IterationPlan,
+        use_ssd: bool = False,
+        lock_free: bool = False,
+        steady_state: bool = False,
+    ) -> IterationResult:
         sim = Simulator()
         first = self._build_iteration(
             sim, plan, use_ssd=use_ssd, prefix="", prev=None,

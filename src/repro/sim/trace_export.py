@@ -4,13 +4,20 @@ A simulated iteration's timeline can be inspected visually in
 ``chrome://tracing`` / Perfetto: one row per stream (GPU compute, PCIe
 H2D/D2H, NCCL, CPU, SSD), one slice per task. This is the artifact a
 systems engineer would use to eyeball Algorithm 1's overlap.
+
+The serialization itself (metadata rows, slice emission, tid assignment)
+lives in :mod:`repro.telemetry.chrome`, shared with the runtime span
+tracer so simulated and functional traces render identically.
 """
 
 from __future__ import annotations
 
-import json
-
 from repro.sim.timeline import Timeline
+from repro.telemetry.chrome import (
+    TraceSlice,
+    build_chrome_trace,
+    save_chrome_trace_json,
+)
 
 #: Stable track ordering for the usual stream kinds.
 _KIND_ORDER = {"compute": 0, "pcie": 1, "nccl": 2, "cpu": 3, "ssd": 4}
@@ -27,38 +34,23 @@ def to_chrome_trace(timeline: Timeline, time_unit: float = 1e-3) -> dict:
         {(iv.stream, iv.kind) for iv in timeline.intervals},
         key=lambda pair: (_KIND_ORDER.get(pair[1], 99), pair[0]),
     )
-    tid_of = {stream: tid for tid, (stream, _) in enumerate(streams)}
-    events = [
-        {
-            "name": stream,
-            "ph": "M",
-            "pid": 0,
-            "tid": tid,
-            "cat": "__metadata",
-            "args": {"name": stream},
-        }
-        for stream, tid in tid_of.items()
-    ]
-    for iv in timeline.intervals:
-        events.append(
-            {
-                "name": iv.task,
-                "cat": iv.kind,
-                "ph": "X",
-                "pid": 0,
-                "tid": tid_of[iv.stream],
-                "ts": iv.start / time_unit,
-                "dur": max(iv.duration / time_unit, 0.001),
-            }
+    slices = [
+        TraceSlice(
+            name=iv.task,
+            track=iv.stream,
+            category=iv.kind,
+            start_us=iv.start / time_unit,
+            dur_us=iv.duration / time_unit,
         )
-    return {
-        "traceEvents": events,
-        "displayTimeUnit": "ms",
-        "otherData": {"makespan_seconds": timeline.makespan},
-    }
+        for iv in timeline.intervals
+    ]
+    return build_chrome_trace(
+        slices,
+        track_order=[stream for stream, _ in streams],
+        other_data={"makespan_seconds": timeline.makespan},
+    )
 
 
 def save_chrome_trace(timeline: Timeline, path: str, time_unit: float = 1e-3) -> None:
     """Write the Chrome trace JSON to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(to_chrome_trace(timeline, time_unit), handle)
+    save_chrome_trace_json(to_chrome_trace(timeline, time_unit), path)

@@ -1,0 +1,36 @@
+"""Runtime telemetry: span tracing, metrics, clocks and profiling.
+
+The observability layer the functional engine was missing: hierarchical
+:class:`SpanTracer` spans exported to the same Chrome trace-event format
+as simulated timelines, a labelled :class:`MetricsRegistry` absorbing
+per-tier page traffic and fault/retry accounting, injectable
+:class:`Clock` time sources for deterministic tests, and the
+``repro profile`` benchmark harness (:mod:`repro.telemetry.bench`).
+"""
+
+from repro.telemetry.clock import WALL_CLOCK, Clock, ManualClock
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+)
+from repro.telemetry.spans import NULL_SPAN, SpanRecord, SpanTracer
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManualClock",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "SpanRecord",
+    "SpanTracer",
+    "Telemetry",
+    "WALL_CLOCK",
+]

@@ -1,0 +1,169 @@
+"""Benchmark harness: profile the functional engine under full telemetry.
+
+``run_profile`` trains the tiny functional GPT for a few steps with a live
+:class:`~repro.telemetry.core.Telemetry` attached (spans + per-tier byte
+counters), plans and simulates one analytic iteration on the same clock so
+the "scheduler" track lands in the same trace, and measures the overhead of
+the instrumentation by repeating the training run with telemetry disabled.
+The result feeds ``repro profile`` and ``benchmarks/``, and serializes to
+``BENCH_telemetry.json`` next to a Perfetto-openable Chrome trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.telemetry.core import Telemetry
+from repro.units import KiB, MiB
+
+
+@dataclass(frozen=True)
+class ProfileConfig:
+    """Knobs for one profiling run (mirrors ``repro train``'s workload)."""
+
+    steps: int = 10
+    layers: int = 2
+    lr: float = 2e-3
+    seed: int = 0
+    vocab_size: int = 32
+    seq_len: int = 16
+    batch_size: int = 8
+    #: Deliberately tight: evictions force traffic on both directions of
+    #: the GPU<->CPU edge, so the per-tier byte counters are all nonzero.
+    gpu_memory_bytes: int = 1 * MiB
+    cpu_memory_bytes: int = 64 * MiB
+    ssd_bytes: int = 32 * MiB
+    page_bytes: int = 64 * KiB
+    lock_free: bool = False
+    #: Analytic-simulator side: model-zoo name, servers and micro-batch.
+    sim_model: str = "gpt3-13b"
+    sim_servers: int = 1
+    sim_batch: int = 4
+    #: Also run telemetry-off to measure instrumentation overhead.
+    measure_overhead: bool = True
+
+
+def _build_engine(config: ProfileConfig, telemetry):
+    from repro.engine.angel import AngelConfig, initialize
+    from repro.nn import MixedPrecisionAdam, TinyTransformerLM
+
+    model = TinyTransformerLM(
+        vocab_size=config.vocab_size, d_model=32, d_ffn=64, num_heads=4,
+        num_layers=config.layers, max_seq=config.seq_len, seed=config.seed,
+    )
+    optimizer = MixedPrecisionAdam(model.parameters(), lr=config.lr)
+    angel = AngelConfig(
+        gpu_memory_bytes=config.gpu_memory_bytes,
+        cpu_memory_bytes=config.cpu_memory_bytes,
+        ssd_bytes=config.ssd_bytes,
+        page_bytes=config.page_bytes,
+        lock_free=config.lock_free,
+        update_interval=4 if config.lock_free else 1,
+        telemetry=telemetry,
+    )
+    return initialize(model, optimizer, angel)
+
+
+def _train_once(config: ProfileConfig, telemetry) -> tuple[float, list[float]]:
+    """One training run; returns (elapsed_seconds, losses)."""
+    from repro.nn import lm_synthetic_batches
+
+    clock = telemetry.clock
+    engine = _build_engine(config, telemetry)
+    losses = []
+    try:
+        started = clock.perf()
+        for batch in lm_synthetic_batches(
+            config.vocab_size, config.seq_len, config.batch_size,
+            config.steps, seed=config.seed + 1,
+        ):
+            loss = engine(batch)
+            engine.backward(loss)
+            engine.step()
+            losses.append(loss.item())
+        elapsed = clock.perf() - started
+    finally:
+        engine.close()
+    return elapsed, losses
+
+
+def _simulate_once(config: ProfileConfig, telemetry) -> dict:
+    """Plan + simulate one analytic iteration on the shared telemetry."""
+    from repro.hardware.cluster import a100_cluster
+    from repro.models import get_model
+    from repro.scheduler.unified import UnifiedScheduler
+
+    scheduler = UnifiedScheduler(
+        a100_cluster(config.sim_servers), telemetry=telemetry
+    )
+    result = scheduler.simulate(
+        get_model(config.sim_model), config.sim_batch
+    )
+    return {
+        "model": config.sim_model,
+        "micro_batch": config.sim_batch,
+        "iteration_time_seconds": result.iteration_time,
+        "samples_per_second": result.samples_per_second,
+        "gpu_busy_fraction": result.gpu_busy_fraction,
+        "pcie_busy_fraction": result.pcie_busy_fraction,
+    }
+
+
+def run_profile(
+    config: ProfileConfig | None = None, telemetry: Telemetry | None = None
+) -> tuple[dict, Telemetry]:
+    """Profile the engine; returns (report, telemetry-with-spans).
+
+    The report is the ``BENCH_telemetry.json`` payload; the returned
+    telemetry still holds the span records, so callers can additionally
+    ``telemetry.tracer.save_chrome_trace(path)``.
+    """
+    config = config or ProfileConfig()
+    telemetry = telemetry or Telemetry()
+
+    elapsed, losses = _train_once(config, telemetry)
+    simulated = _simulate_once(config, telemetry)
+
+    overhead = None
+    if config.measure_overhead:
+        baseline_elapsed, _ = _train_once(config, Telemetry(enabled=False))
+        overhead = {
+            "instrumented_seconds": elapsed,
+            "disabled_seconds": baseline_elapsed,
+            "overhead_fraction": (
+                (elapsed - baseline_elapsed) / baseline_elapsed
+                if baseline_elapsed > 0 else 0.0
+            ),
+        }
+
+    dump = telemetry.dump()
+    counters = dump["metrics"]["counters"]
+    page_edges = {
+        key: value for key, value in counters.items()
+        if key.startswith("pages.moved_bytes")
+    }
+    report = {
+        "benchmark": "telemetry_profile",
+        "config": asdict(config),
+        "train": {
+            "steps": config.steps,
+            "elapsed_seconds": elapsed,
+            "steps_per_second": (
+                config.steps / elapsed if elapsed > 0 else float("inf")
+            ),
+            "final_loss": losses[-1] if losses else None,
+        },
+        "simulated": simulated,
+        "per_tier_edge_bytes": page_edges,
+        "overhead": overhead,
+        "telemetry": dump,
+    }
+    return report, telemetry
+
+
+def save_profile(report: dict, path) -> None:
+    """Write the ``BENCH_telemetry.json`` payload."""
+    import json
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True))

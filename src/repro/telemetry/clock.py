@@ -1,0 +1,76 @@
+"""Injectable time sources for telemetry, metrics and retry.
+
+Production code wants wall time; tests want determinism. A :class:`Clock`
+exposes the three time facets the codebase consumes — ``perf()`` for
+durations, ``monotonic()`` for deadlines, ``wall()`` for timestamps — plus
+``sleep()``, so a :class:`ManualClock` can stand in everywhere and make
+backoff schedules, span durations and step timings exact, with zero
+wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ConfigurationError
+
+
+class Clock:
+    """Real time: thin veneer over the stdlib clocks."""
+
+    def perf(self) -> float:
+        """High-resolution timestamp for measuring durations."""
+        return time.perf_counter()
+
+    def monotonic(self) -> float:
+        """Monotonic timestamp for deadlines (never goes backwards)."""
+        return time.monotonic()
+
+    def wall(self) -> float:
+        """Wall-clock epoch seconds (trace timestamps, filenames)."""
+        return time.time()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to.
+
+    All three facets read the same counter; ``sleep`` advances it, so code
+    that sleeps under a deadline can be tested without waiting. ``advance``
+    models time passing between operations.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        #: Every sleep duration requested, in order (for assertions).
+        self.sleeps: list[float] = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigurationError("a clock cannot run backwards")
+        self._now += seconds
+
+    def perf(self) -> float:
+        return self._now
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def wall(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        if seconds > 0:
+            self._now += seconds
+
+
+#: Process-wide default; modules take ``clock=None`` and fall back to this.
+WALL_CLOCK = Clock()

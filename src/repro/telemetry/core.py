@@ -1,0 +1,99 @@
+"""The Telemetry facade: one object wiring clock, tracer and registry.
+
+Subsystems accept ``telemetry=None`` and treat ``None`` as "off"; callers
+that want observability build one :class:`Telemetry` and pass it down so
+spans, per-tier traffic counters, fault counts and retry latencies all
+land in a single export path. :data:`NULL_TELEMETRY` is a disabled
+instance whose every operation is a no-op — safe to store and call
+unconditionally on hot paths.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.clock import WALL_CLOCK, Clock
+from repro.telemetry.registry import NULL_INSTRUMENT, MetricsRegistry
+from repro.telemetry.spans import NULL_SPAN, SpanTracer
+
+
+class Telemetry:
+    """Bundles a clock, a span tracer and a metrics registry."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        enabled: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
+    ):
+        self.clock = clock or WALL_CLOCK
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else SpanTracer(
+            clock=self.clock, enabled=enabled
+        )
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, track: str | None = None, **args):
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, track=track, **args)
+
+    def instant(self, name: str, track: str | None = None, **args) -> None:
+        if self.enabled:
+            self.tracer.instant(name, track=track, **args)
+
+    # ------------------------------------------------------------------
+    # Instruments (get-or-create; cacheable by identity)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        return self.registry.histogram(name, **labels)
+
+    # ------------------------------------------------------------------
+    # Domain vocabulary (the metric-name catalog, docs/telemetry.md)
+    # ------------------------------------------------------------------
+    def record_page_move(self, src: str, dst: str, nbytes: int) -> None:
+        """One page crossing a (src-tier, dst-tier) edge."""
+        if not self.enabled:
+            return
+        self.registry.counter("pages.moved_bytes", src=src, dst=dst).inc(nbytes)
+        self.registry.counter("pages.moves", src=src, dst=dst).inc()
+
+    def record_io(self, tier: str, op: str, nbytes: int) -> None:
+        """Physical backend I/O on one tier (``op`` is read/write)."""
+        if not self.enabled:
+            return
+        self.registry.counter(f"io.{op}_bytes", tier=tier).inc(nbytes)
+
+    def record_collective(self, kind: str, nbytes: int) -> None:
+        """Bytes entering one collective (all_gather, all_reduce, ...)."""
+        if not self.enabled:
+            return
+        self.registry.counter(f"collective.{kind}_bytes").inc(nbytes)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def dump(self) -> dict:
+        """Unified snapshot: every metric plus the span breakdown."""
+        return {
+            "metrics": self.registry.dump(),
+            "spans": self.tracer.breakdown(),
+        }
+
+
+#: Shared disabled instance; ``telemetry or NULL_TELEMETRY`` is the idiom.
+NULL_TELEMETRY = Telemetry(enabled=False)

@@ -61,6 +61,37 @@ class TestCli:
         assert "recoveries" in out and "degradations" in out
         assert "final loss" in out and "Young/Daly" in out
 
+    def test_profile_writes_bench_and_trace(self, capsys, tmp_path):
+        import json
+
+        assert main([
+            "profile", "--steps", "2", "--no-overhead",
+            "--outdir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "steps/s" in out and "per-tier traffic" in out
+        bench = json.loads((tmp_path / "BENCH_telemetry.json").read_text())
+        assert bench["train"]["steps_per_second"] > 0
+        assert bench["per_tier_edge_bytes"]
+        trace = json.loads((tmp_path / "telemetry_trace.json").read_text())
+        meta = [e for e in trace["traceEvents"] if e.get("ph") == "M"]
+        assert len(meta) >= 4  # train / updater / pcie / scheduler
+
+    def test_profile_rejects_bad_steps(self, capsys, tmp_path):
+        assert main(["profile", "--steps", "0",
+                     "--outdir", str(tmp_path)]) == 2
+
+    def test_chaos_unified_metrics_dump(self, capsys, tmp_path):
+        assert main([
+            "chaos", "--steps", "6", "--seed", "0",
+            "--workdir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "unified metrics :" in out
+        # Fault counters and retry latencies share one registry.
+        assert "faults.retries" in out
+        assert "retry.backoff_seconds" in out
+
     def test_chaos_fault_free_run(self, capsys, tmp_path):
         assert main([
             "chaos", "--steps", "4", "--transient-rate", "0",

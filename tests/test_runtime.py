@@ -53,6 +53,61 @@ class TestEventBus:
         bus.complete("b")
         assert bus.incomplete == ["a"]
 
+    def test_event_is_a_stable_latch(self):
+        bus = EventBus()
+        assert bus.event("a") is bus.event("a")
+
+    def test_callbacks_fire_in_registration_order(self):
+        bus = EventBus()
+        fired = []
+        bus.event("a").on_complete(lambda: fired.append(1))
+        bus.event("a").on_complete(lambda: fired.append(2))
+        bus.complete("a")
+        assert fired == [1, 2]
+
+    def test_when_all_mixed_done_and_pending(self):
+        bus = EventBus()
+        bus.complete("a")
+        fired = []
+        bus.when_all(["a", "b"], lambda: fired.append(1))
+        assert fired == []
+        bus.complete("b")
+        assert fired == [1]
+
+    def test_when_all_fires_exactly_once(self):
+        bus = EventBus()
+        fired = []
+        bus.when_all(["a"], lambda: fired.append(1))
+        bus.complete("a")
+        bus.complete("b")  # unrelated completion must not re-fire
+        assert fired == [1]
+
+    def test_when_all_duplicate_names(self):
+        bus = EventBus()
+        fired = []
+        bus.when_all(["a", "a"], lambda: fired.append(1))
+        bus.complete("a")
+        assert fired == [1]
+
+    def test_callback_may_chain_completions(self):
+        bus = EventBus()
+        fired = []
+        bus.event("b").on_complete(lambda: fired.append("b"))
+        bus.event("a").on_complete(lambda: bus.complete("b"))
+        bus.complete("a")
+        assert fired == ["b"]
+        assert bus.event("b").done
+
+    def test_late_registration_on_drained_event(self):
+        # Callbacks attached after completion fire, and the already-fired
+        # list is not retained (no double dispatch on re-registration).
+        bus = EventBus()
+        bus.complete("a")
+        fired = []
+        bus.event("a").on_complete(lambda: fired.append(1))
+        bus.event("a").on_complete(lambda: fired.append(2))
+        assert fired == [1, 2]
+
 
 class TestScheduleExecutor:
     def _plan(self, num_layers=6, micro_batch=2, budget=None):
