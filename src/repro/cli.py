@@ -128,6 +128,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _repo_root():
+    """Nearest ancestor with a ``pyproject.toml`` or ``.git`` (else cwd)."""
+    from pathlib import Path
+
+    here = Path.cwd()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").exists() or (candidate / ".git").exists():
+            return candidate
+    return here
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -142,9 +153,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         seed=args.seed,
         lock_free=args.lock_free,
         measure_overhead=not args.no_overhead,
+        watch=not args.no_watch,
     )
     report, telemetry = run_profile(config)
-    outdir = Path(args.outdir)
+    # Default outdir is the repo root, so CI's benchmark-smoke job leaves
+    # BENCH_telemetry.json at the top level regardless of its cwd.
+    outdir = Path(args.outdir) if args.outdir else _repo_root()
     outdir.mkdir(parents=True, exist_ok=True)
     bench_path = outdir / "BENCH_telemetry.json"
     trace_path = outdir / "telemetry_trace.json"
@@ -164,11 +178,64 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if report["overhead"] is not None:
         print(f"span overhead   : "
               f"{report['overhead']['overhead_fraction']:+.1%} vs disabled")
+    alerts = report.get("alerts", [])
+    if alerts:
+        print(f"watchdog alerts : {len(alerts)} fired")
+        for payload in alerts[:8]:
+            print(f"  [{payload['severity']}] {payload['rule']}: "
+                  f"{payload['message']}")
+        if len(alerts) > 8:
+            print(f"  ... and {len(alerts) - 8} more")
     print(f"span records    : {len(telemetry.tracer.records)}")
     print(f"wrote           : {bench_path}")
     print(f"wrote           : {trace_path}  (open in Perfetto / "
           f"chrome://tracing)")
+    if args.report:
+        from repro.observe.report import write_report
+
+        written = write_report(
+            report, outdir / "run_report.md",
+            trace=telemetry.tracer.to_chrome_trace(),
+            html=True,
+        )
+        for path in written:
+            print(f"wrote           : {path}")
     return 0
+
+
+def _cmd_report_build(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.observe.report import load_payload, write_report
+
+    bench_path = Path(args.bench)
+    if not bench_path.exists():
+        print(f"report: no such file {bench_path}", file=sys.stderr)
+        return 2
+    bench = load_payload(bench_path)
+    trace = load_payload(args.trace) if args.trace else None
+    out = Path(args.out) if args.out else bench_path.parent / "run_report.md"
+    written = write_report(bench, out, trace=trace, html=args.html)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_report_compare(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.observe.report import compare, format_compare, load_payload
+
+    for path in (args.baseline, args.current):
+        if not Path(path).exists():
+            print(f"report: no such file {path}", file=sys.stderr)
+            return 2
+    result = compare(
+        load_payload(args.baseline), load_payload(args.current),
+        threshold=args.threshold,
+    )
+    print(format_compare(result))
+    return 0 if result["ok"] else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -226,6 +293,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for name, summary in sorted(dump["histograms"].items()):
         print(f"  {name:<24} n={summary['count']} "
               f"mean={summary['mean']:.2e}s p95={summary['p95']:.2e}s")
+    if report.alerts:
+        print("watchdog alerts :")
+        for alert in report.alerts:
+            print(f"  [{alert.severity.name}] {alert.rule} "
+                  f"@ step {alert.step}: {alert.message}")
+    if report.recommendations:
+        print("recommendations :")
+        for recommendation in report.recommendations:
+            print(f"  {recommendation}")
     delta = abs(report.final_loss - reference[-1])
     print(f"final loss      : {report.final_loss:.4f} "
           f"(fault-free {reference[-1]:.4f}, |delta| {delta:.4f})")
@@ -331,9 +407,41 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--lock-free", action="store_true")
     profile.add_argument("--no-overhead", action="store_true",
                          help="skip the telemetry-disabled comparison run")
-    profile.add_argument("--outdir", default=".",
-                         help="where BENCH_telemetry.json and the trace go")
+    profile.add_argument("--no-watch", action="store_true",
+                         help="disable the step-boundary watchdog")
+    profile.add_argument("--outdir", default=None,
+                         help="where BENCH_telemetry.json and the trace go "
+                              "(default: the repo root)")
+    profile.add_argument("--report", action="store_true",
+                         help="also render run_report.md / .html from the run")
     profile.set_defaults(func=_cmd_profile)
+
+    report = sub.add_parser(
+        "report", help="render or compare run reports (repro.observe)"
+    )
+    report_sub = report.add_subparsers(dest="report_command", required=True)
+    build = report_sub.add_parser(
+        "build", help="merge BENCH payload + trace into one run report"
+    )
+    build.add_argument("--bench", default="BENCH_telemetry.json",
+                       help="BENCH_telemetry.json payload to render")
+    build.add_argument("--trace", default=None,
+                       help="optional Chrome trace to summarize alongside")
+    build.add_argument("--out", default=None,
+                       help="output markdown path (default: run_report.md "
+                            "next to the bench payload)")
+    build.add_argument("--html", action="store_true",
+                       help="also write a self-contained .html next to the .md")
+    build.set_defaults(func=_cmd_report_build)
+    compare = report_sub.add_parser(
+        "compare", help="flag metric regressions between two BENCH payloads"
+    )
+    compare.add_argument("baseline")
+    compare.add_argument("current")
+    compare.add_argument("--threshold", type=float, default=0.05,
+                         help="relative change beyond which a metric is "
+                              "flagged (default 0.05)")
+    compare.set_defaults(func=_cmd_report_compare)
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", help="e.g. table5, figure8, ablation_page_size")

@@ -131,8 +131,15 @@ class AngelModel:
                 from repro.resilience.faults import inject_faults
 
                 inject_faults(pools[DeviceKind.SSD], config.fault_plan, tier="ssd")
+        # Deferred import: repro.observe consumes this engine's telemetry.
+        from repro.observe.forensics import ForensicRecorder
+
+        #: Memory forensics: waterline timeline sampled at step boundaries;
+        #: any OOM raised by the pools carries a dump (``exc.forensics``).
+        self.forensics = ForensicRecorder()
         self.allocator = PageAllocator(
-            pools, retry_policy=config.retry_policy, telemetry=telemetry
+            pools, retry_policy=config.retry_policy, telemetry=telemetry,
+            forensics=self.forensics,
         )
         self._state_tier = DeviceKind.SSD if config.ssd_bytes else DeviceKind.CPU
 
@@ -156,6 +163,8 @@ class AngelModel:
         self._hits_counter = self.telemetry.counter("cache.prefetch_hits")
         self._demand_counter = self.telemetry.counter("cache.demand_fetches")
         self._evict_counter = self.telemetry.counter("pages.evictions")
+        # Pending-iterations-behind gauge: the watchdog's staleness signal.
+        self._lag_gauge = self.telemetry.gauge("updater.lag_iterations")
 
     # ------------------------------------------------------------------
     # Registration and hooks
@@ -252,6 +261,10 @@ class AngelModel:
         managed.param.data[...] = managed.fp16.read_array().astype(np.float32)
 
     def _move_with_eviction(self, managed: _Managed, pinned: set[int]) -> None:
+        # An OOM here is the interesting kind: record what could not move.
+        self.forensics.set_context(
+            pinned=sorted(self._managed[i].name for i in pinned)
+        )
         while True:
             try:
                 managed.fp16.move(DeviceKind.GPU)
@@ -304,9 +317,13 @@ class AngelModel:
         interval = self.config.update_interval if self.config.lock_free else 1
         self.telemetry.counter("engine.steps").inc()
         if self._pending < interval:
+            self._lag_gauge.set(self._pending)
+            self.forensics.sample(self._iteration, self.memory_report())
             return False
         self._update_sweep()
         self._pending = 0
+        self._lag_gauge.set(0)
+        self.forensics.sample(self._iteration, self.memory_report())
         return True
 
     def _update_sweep(self) -> None:
@@ -413,19 +430,7 @@ class AngelModel:
         ]
 
     def memory_report(self) -> dict[str, dict[str, int]]:
-        report = {}
-        for kind in (DeviceKind.GPU, DeviceKind.CPU, DeviceKind.SSD):
-            try:
-                pool = self.allocator.pool(kind)
-            except Exception:
-                continue
-            report[kind.name.lower()] = {
-                "pages_in_use": pool.pages_in_use,
-                "used_bytes": pool.used_bytes,
-                "free_bytes": pool.free_bytes,
-                "peak_pages": pool.peak_in_use,
-            }
-        return report
+        return self.allocator.residency_report()
 
     def close(self) -> None:
         self.allocator.close()

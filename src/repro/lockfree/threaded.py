@@ -61,6 +61,11 @@ class LockFreeTrainer:
         self._buffers = GradientBuffers(self._params)
         self._stop = threading.Event()
         self._sweeps = 0
+        #: Iterations whose gradients a completed sweep has folded in; the
+        #: GPU loop publishes ``iterations - applied`` as the staleness-lag
+        #: gauge the watchdog monitors.
+        self._iterations_applied = 0
+        self._lag_gauge = self.telemetry.gauge("updater.lag_iterations")
         #: The exception that killed the updating thread, if any.
         self.update_error: BaseException | None = None
         #: True once the trainer degraded to synchronous updates.
@@ -88,15 +93,18 @@ class LockFreeTrainer:
         with telemetry.span(f"update_sweep/{self._sweeps}", track="updater"):
             self.optimizer.bump_step()
             did_work = False
+            covered = 0
             for index in reversed(range(len(self._params))):
                 grad, count = self._buffers.drain(index)
                 if count == 0:
                     continue
                 did_work = True
+                covered = max(covered, count)
                 refreshed = self.optimizer.apply_gradient(index, grad / count)
                 self._params[index].data[...] = refreshed
             if did_work:
                 self._sweeps += 1
+                self._iterations_applied += covered
                 if self.sweep_delay:
                     time.sleep(self.sweep_delay)  # emulated SSD I/O
         if did_work and telemetry.enabled:
@@ -137,6 +145,9 @@ class LockFreeTrainer:
                 self._buffers.accumulate_all(self._params)
                 log.losses.append(loss.item())
                 log.iterations += 1
+                # How far the buffered parameters lag the deposited
+                # gradients, in iterations (the watchdog's staleness feed).
+                self._lag_gauge.set(log.iterations - self._iterations_applied)
                 self._check_updater()
                 if self.fell_back and self._buffers.has_uncleared:
                     self._sweep_once()

@@ -31,6 +31,7 @@ class PageAllocator:
         pools: dict[DeviceKind, DevicePool],
         retry_policy=None,
         telemetry=None,
+        forensics=None,
     ):
         if not pools:
             raise AllocationError("at least one device pool is required")
@@ -48,6 +49,14 @@ class PageAllocator:
         #: repro.telemetry.Telemetry recording per-(src, dst) page traffic
         #: and bracketing tensor moves with spans (disabled by default).
         self.telemetry = telemetry
+        #: Optional repro.observe.forensics.ForensicRecorder: every
+        #: OutOfMemoryError raised by any of this allocator's pools gets a
+        #: forensic dump (resident pages/tensors per tier, pinned set,
+        #: planned tasks, waterline history) attached as ``exc.forensics``.
+        self.forensics = forensics
+        if forensics is not None:
+            for pool in self._pools.values():
+                pool.oom_observer = self._on_oom
         self.page_bytes = page_sizes.pop()
         self._tensor_ids = itertools.count()
         self._tensors: dict[int, PagedTensor] = {}
@@ -62,8 +71,28 @@ class PageAllocator:
             raise AllocationError(f"no pool configured for {device.name}") from None
 
     @property
+    def pools(self) -> dict[DeviceKind, DevicePool]:
+        return dict(self._pools)
+
+    @property
     def tensors(self) -> list[PagedTensor]:
         return list(self._tensors.values())
+
+    def _on_oom(self, exc) -> None:
+        if self.forensics is not None:
+            self.forensics.attach(exc, self)
+
+    def residency_report(self) -> dict[str, dict[str, int]]:
+        """Per-tier page residency (the waterline the forensics sample)."""
+        return {
+            device.name.lower(): {
+                "pages_in_use": pool.pages_in_use,
+                "used_bytes": pool.used_bytes,
+                "free_bytes": pool.free_bytes,
+                "peak_pages": pool.peak_in_use,
+            }
+            for device, pool in self._pools.items()
+        }
 
     # ------------------------------------------------------------------
     # Allocation

@@ -174,6 +174,10 @@ class DevicePool:
         self._free_indices: list[int] = list(range(self.num_pages))
         self._in_use = 0
         self.peak_in_use = 0
+        #: Called with the OutOfMemoryError about to be raised; the page
+        #: allocator points this at its ForensicRecorder so every OOM —
+        #: whichever path triggered it — carries a forensic dump.
+        self.oom_observer = None
 
     def wrap_backend(self, wrapper) -> None:
         """Interpose on physical I/O: ``wrapper(inner) -> backend``.
@@ -193,11 +197,14 @@ class DevicePool:
                 f"{self.name}: page of {nbytes} bytes exceeds pool page size"
             )
         if not self._free_indices:
-            raise OutOfMemoryError(
+            exc = OutOfMemoryError(
                 device=self.name,
                 requested_bytes=self.page_bytes,
                 available_bytes=self.free_bytes,
             )
+            if self.oom_observer is not None:
+                self.oom_observer(exc)
+            raise exc
         index = self._free_indices.pop()
         self._in_use += 1
         self.peak_in_use = max(self.peak_in_use, self._in_use)

@@ -1,0 +1,65 @@
+"""Health monitoring and forensics over the telemetry streams.
+
+Three consumers of the recording layer (:mod:`repro.telemetry`):
+
+- :mod:`repro.observe.watchdog` — streaming anomaly detectors evaluated
+  at step boundaries, emitting :class:`~repro.observe.alerts.Alert`
+  records onto the event bus;
+- :mod:`repro.observe.forensics` — per-tier residency timelines and the
+  forensic dump attached to every :class:`~repro.errors.OutOfMemoryError`;
+- :mod:`repro.observe.report` — the ``repro report`` generator merging
+  BENCH payloads, traces and alert logs into one run report, plus the
+  BENCH-vs-BENCH regression comparison.
+"""
+
+from repro.observe.alerts import (
+    Alert,
+    Severity,
+    alert_from_dict,
+    degrade_recommendation,
+)
+from repro.observe.forensics import ForensicDump, ForensicRecorder, ResidencySample
+from repro.observe.report import (
+    compare,
+    format_compare,
+    render_html,
+    render_markdown,
+    write_report,
+)
+from repro.observe.watchdog import (
+    CacheThrashRule,
+    RetryStormRule,
+    Rule,
+    StalenessLagRule,
+    StepSnapshot,
+    TierBandwidthRule,
+    Watchdog,
+    WatchdogConfig,
+    WaterlineRule,
+    default_rules,
+)
+
+__all__ = [
+    "Alert",
+    "Severity",
+    "alert_from_dict",
+    "degrade_recommendation",
+    "ForensicDump",
+    "ForensicRecorder",
+    "ResidencySample",
+    "compare",
+    "format_compare",
+    "render_html",
+    "render_markdown",
+    "write_report",
+    "CacheThrashRule",
+    "RetryStormRule",
+    "Rule",
+    "StalenessLagRule",
+    "StepSnapshot",
+    "TierBandwidthRule",
+    "Watchdog",
+    "WatchdogConfig",
+    "WaterlineRule",
+    "default_rules",
+]

@@ -1,0 +1,82 @@
+"""Structured watchdog alerts.
+
+The watchdog engine (:mod:`repro.observe.watchdog`) turns telemetry
+streams into :class:`Alert` records — a severity, the rule that fired,
+a human-readable message and a machine-readable evidence dict. Alerts
+are plain data: they serialize into the ``BENCH_telemetry.json`` payload,
+publish onto the :class:`~repro.runtime.events.EventBus`, and render in
+the ``repro report`` anomaly section.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How urgently a human should look at this."""
+
+    INFO = 0
+    WARNING = 1
+    CRITICAL = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired watchdog rule with its evidence."""
+
+    rule: str
+    severity: Severity
+    message: str
+    step: int
+    evidence: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.name,
+            "message": self.message,
+            "step": self.step,
+            "evidence": dict(self.evidence),
+        }
+
+
+def alert_from_dict(payload: dict) -> Alert:
+    """Rebuild an :class:`Alert` from its ``to_dict`` form (report I/O)."""
+    return Alert(
+        rule=payload["rule"],
+        severity=Severity[payload.get("severity", "WARNING")],
+        message=payload.get("message", ""),
+        step=int(payload.get("step", 0)),
+        evidence=dict(payload.get("evidence", {})),
+    )
+
+
+def degrade_recommendation(alert: Alert) -> str | None:
+    """Map an alert to a tier-degradation recommendation, if any.
+
+    Closes the loop between the resilience and telemetry subsystems: a
+    sustained retry storm or a saturated SSD edge suggests the SSD tier
+    is unhealthy, and the supervisor *may* evacuate the FP32 states via
+    ``AngelModel.degrade_tier`` — the recommendation never forces it.
+    """
+    if alert.severity < Severity.WARNING:
+        return None
+    if alert.rule == "retry_storm":
+        return (
+            "degrade_tier: sustained retry storm on tier I/O "
+            f"({alert.evidence.get('retries_in_window', '?')} retries in "
+            f"{alert.evidence.get('window_steps', '?')} steps) — consider "
+            "AngelModel.degrade_tier(SSD, CPU)"
+        )
+    if alert.rule == "tier_bandwidth" and "ssd" in str(alert.evidence.get("edge", "")):
+        return (
+            f"degrade_tier: {alert.evidence.get('edge')} edge saturated at "
+            f"{alert.evidence.get('bytes_per_step', 0)} B/step — consider "
+            "AngelModel.degrade_tier(SSD, CPU)"
+        )
+    return None

@@ -1,0 +1,365 @@
+"""The run-report layer: one readable verdict per profiling run.
+
+``repro report build`` merges a ``BENCH_telemetry.json`` payload (and,
+when present, the Chrome trace and the alert log embedded in it) into one
+self-contained markdown — optionally HTML — document: a summary table, a
+per-tier **memory waterfall**, the **tier-traffic table**, the watchdog's
+**anomaly section**, and the span breakdown. ``repro report compare``
+diffs two BENCH payloads and flags metric regressions, which is how the
+``BENCH_*.json`` history becomes a perf trajectory instead of a pile of
+JSON.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+
+from repro.units import KiB, MiB
+
+#: Metrics compared by :func:`compare`: (json path, higher_is_better).
+COMPARED_METRICS = [
+    (("train", "steps_per_second"), True),
+    (("train", "elapsed_seconds"), False),
+    (("simulated", "samples_per_second"), True),
+    (("simulated", "iteration_time_seconds"), False),
+    (("overhead", "overhead_fraction"), False),
+]
+
+_BAR_WIDTH = 30
+
+
+def load_payload(path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def _get(payload: dict, path: tuple) -> float | None:
+    node = payload
+    for key in path:
+        if not isinstance(node, dict) or key not in node or node[key] is None:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
+
+
+def _fmt_bytes(nbytes: float) -> str:
+    if nbytes >= MiB:
+        return f"{nbytes / MiB:.2f} MiB"
+    if nbytes >= KiB:
+        return f"{nbytes / KiB:.1f} KiB"
+    return f"{nbytes:.0f} B"
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = round(fraction * width)
+    return "#" * filled + "." * (width - filled)
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+def _summary_section(bench: dict) -> list[str]:
+    rows = []
+    train = bench.get("train", {})
+    sim = bench.get("simulated", {})
+    overhead = bench.get("overhead") or {}
+    if train:
+        rows.append(("steps", f"{train.get('steps', '?')}"))
+        if train.get("elapsed_seconds") is not None:
+            rows.append(("elapsed", f"{train['elapsed_seconds']:.3f} s"))
+        if train.get("steps_per_second") is not None:
+            rows.append(("throughput", f"{train['steps_per_second']:.2f} steps/s"))
+        if train.get("final_loss") is not None:
+            rows.append(("final loss", f"{train['final_loss']:.4f}"))
+    if sim:
+        rows.append((
+            "simulated",
+            f"{sim.get('model', '?')} -> "
+            f"{sim.get('samples_per_second', 0):.2f} samples/s",
+        ))
+    if overhead.get("overhead_fraction") is not None:
+        rows.append(("telemetry overhead",
+                     f"{overhead['overhead_fraction']:+.1%}"))
+    lines = ["## Summary", "", "| metric | value |", "|---|---|"]
+    lines += [f"| {name} | {value} |" for name, value in rows]
+    return lines + [""]
+
+
+def _waterfall_section(bench: dict) -> list[str]:
+    """Per-tier residency bars over the sampled step timeline."""
+    timeline = bench.get("memory_timeline") or []
+    lines = ["## Memory waterfall", ""]
+    if not timeline:
+        return lines + ["_No residency timeline in this payload._", ""]
+    tiers = sorted({tier for sample in timeline for tier in sample["tiers"]})
+    # Downsample to at most 20 rows so long runs stay readable.
+    stride = max(1, len(timeline) // 20)
+    sampled = timeline[::stride]
+    if sampled[-1] is not timeline[-1]:
+        sampled.append(timeline[-1])
+    for tier in tiers:
+        stats = [s for s in sampled if tier in s["tiers"]]
+        if not stats:
+            continue
+        capacity = max(
+            s["tiers"][tier].get("used_bytes", 0)
+            + s["tiers"][tier].get("free_bytes", 0)
+            for s in stats
+        )
+        lines.append(f"### {tier} (capacity {_fmt_bytes(capacity)})")
+        lines.append("")
+        lines.append("```")
+        for sample in stats:
+            t = sample["tiers"][tier]
+            used = t.get("used_bytes", 0)
+            fraction = used / capacity if capacity else 0.0
+            lines.append(
+                f"step {sample['step']:>4}  {_bar(fraction)} "
+                f"{fraction:>5.0%}  {_fmt_bytes(used)}"
+            )
+        lines.append("```")
+        lines.append("")
+    return lines
+
+
+def _traffic_section(bench: dict) -> list[str]:
+    """Bytes and page-move counts per (src, dst) tier edge."""
+    edges = bench.get("per_tier_edge_bytes") or {}
+    counters = (
+        bench.get("telemetry", {}).get("metrics", {}).get("counters", {})
+    )
+    lines = ["## Tier traffic", ""]
+    if not edges:
+        return lines + ["_No page traffic recorded._", ""]
+    lines += ["| edge | moved | page moves |", "|---|---|---|"]
+    for key in sorted(edges):
+        labels = key[key.index("{"):] if "{" in key else ""
+        moves = counters.get(f"pages.moves{labels}", "?")
+        lines.append(f"| `{key}` | {_fmt_bytes(edges[key])} | {moves} |")
+    return lines + [""]
+
+
+def _anomaly_section(bench: dict) -> list[str]:
+    alerts = bench.get("alerts") or []
+    lines = ["## Anomalies", ""]
+    if not alerts:
+        return lines + ["No watchdog alerts fired.", ""]
+    order = {"CRITICAL": 0, "WARNING": 1, "INFO": 2}
+    ranked = sorted(
+        alerts, key=lambda a: (order.get(a.get("severity"), 3), a.get("step", 0))
+    )
+    lines += ["| step | severity | rule | message |", "|---|---|---|---|"]
+    for alert in ranked:
+        lines.append(
+            f"| {alert.get('step', '?')} | {alert.get('severity', '?')} "
+            f"| `{alert.get('rule', '?')}` | {alert.get('message', '')} |"
+        )
+    lines.append("")
+    for alert in ranked:
+        evidence = alert.get("evidence") or {}
+        if not evidence:
+            continue
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(evidence.items()))
+        lines.append(f"- `{alert.get('rule')}` @ step {alert.get('step')}: {detail}")
+    return lines + [""]
+
+
+def _span_section(bench: dict, top: int = 10) -> list[str]:
+    spans = bench.get("telemetry", {}).get("spans", {})
+    lines = ["## Span breakdown", ""]
+    if not spans:
+        return lines + ["_No spans recorded._", ""]
+    ranked = sorted(
+        spans.items(), key=lambda item: -item[1].get("total_seconds", 0.0)
+    )[:top]
+    lines += ["| span | count | total | max |", "|---|---|---|---|"]
+    for name, stats in ranked:
+        lines.append(
+            f"| `{name}` | {stats.get('count', 0):.0f} "
+            f"| {stats.get('total_seconds', 0.0):.4f} s "
+            f"| {stats.get('max_seconds', 0.0):.4f} s |"
+        )
+    return lines + [""]
+
+
+def _trace_section(trace: dict | None) -> list[str]:
+    if not trace:
+        return []
+    events = trace.get("traceEvents", [])
+    tracks = [
+        e["args"]["name"] for e in events if e.get("ph") == "M"
+    ]
+    slices = sum(1 for e in events if e.get("ph") == "X")
+    return [
+        "## Trace",
+        "",
+        f"{slices} slices across {len(tracks)} tracks "
+        f"({', '.join(f'`{t}`' for t in tracks)}); open the trace JSON in "
+        "Perfetto / chrome://tracing for the timeline view.",
+        "",
+    ]
+
+
+def render_markdown(
+    bench: dict, trace: dict | None = None, title: str = "Run report"
+) -> str:
+    """Assemble the full markdown run report from one BENCH payload."""
+    lines = [f"# {title}", ""]
+    benchmark = bench.get("benchmark")
+    if benchmark:
+        lines.append(f"Benchmark: `{benchmark}`")
+        lines.append("")
+    lines += _summary_section(bench)
+    lines += _waterfall_section(bench)
+    lines += _traffic_section(bench)
+    lines += _anomaly_section(bench)
+    lines += _span_section(bench)
+    lines += _trace_section(trace)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ----------------------------------------------------------------------
+# Minimal markdown -> HTML (no external deps; tables/headers/code only)
+# ----------------------------------------------------------------------
+def render_html(markdown: str, title: str = "Run report") -> str:
+    out = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{_html.escape(title)}</title>",
+        "<style>body{font-family:sans-serif;max-width:60em;margin:2em auto}"
+        "table{border-collapse:collapse}td,th{border:1px solid #999;"
+        "padding:.25em .6em}pre{background:#f4f4f4;padding:.6em}</style>",
+        "</head><body>",
+    ]
+    in_code = False
+    in_table = False
+    for line in markdown.splitlines():
+        if line.startswith("```"):
+            out.append("</pre>" if in_code else "<pre>")
+            in_code = not in_code
+            continue
+        if in_code:
+            out.append(_html.escape(line))
+            continue
+        is_table = line.startswith("|")
+        if in_table and not is_table:
+            out.append("</table>")
+            in_table = False
+        if is_table:
+            cells = [c.strip() for c in line.strip("|").split("|")]
+            if all(set(c) <= {"-", ":", " "} and c for c in cells):
+                continue  # separator row
+            if not in_table:
+                out.append("<table>")
+                in_table = True
+                out.append(
+                    "<tr>" + "".join(f"<th>{_html.escape(c)}</th>" for c in cells)
+                    + "</tr>"
+                )
+            else:
+                out.append(
+                    "<tr>" + "".join(f"<td>{_html.escape(c)}</td>" for c in cells)
+                    + "</tr>"
+                )
+            continue
+        if line.startswith("#"):
+            level = len(line) - len(line.lstrip("#"))
+            text = _html.escape(line.lstrip("#").strip())
+            out.append(f"<h{level}>{text}</h{level}>")
+        elif line.startswith("- "):
+            out.append(f"<p>&bull; {_html.escape(line[2:])}</p>")
+        elif line.strip():
+            out.append(f"<p>{_html.escape(line)}</p>")
+    if in_table:
+        out.append("</table>")
+    if in_code:
+        out.append("</pre>")
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+def write_report(
+    bench: dict,
+    out_path,
+    trace: dict | None = None,
+    html: bool = False,
+    title: str = "Run report",
+) -> list[str]:
+    """Write the markdown (and optionally HTML) report; returns paths."""
+    out_path = Path(out_path)
+    markdown = render_markdown(bench, trace=trace, title=title)
+    out_path.write_text(markdown)
+    written = [str(out_path)]
+    if html:
+        html_path = out_path.with_suffix(".html")
+        html_path.write_text(render_html(markdown, title=title))
+        written.append(str(html_path))
+    return written
+
+
+# ----------------------------------------------------------------------
+# Regression comparison
+# ----------------------------------------------------------------------
+def compare(baseline: dict, current: dict, threshold: float = 0.05) -> dict:
+    """Diff two BENCH payloads; flag changes beyond ``threshold``.
+
+    Returns ``{regressions, improvements, unchanged, ok}`` where each
+    entry is ``{metric, baseline, current, delta_fraction}`` and ``ok``
+    is True iff nothing regressed.
+    """
+    regressions, improvements, unchanged = [], [], []
+    for path, higher_is_better in COMPARED_METRICS:
+        base = _get(baseline, path)
+        cur = _get(current, path)
+        if base is None or cur is None:
+            continue
+        if base == 0:
+            delta = 0.0 if cur == 0 else float("inf")
+        else:
+            delta = (cur - base) / abs(base)
+        entry = {
+            "metric": ".".join(path),
+            "baseline": base,
+            "current": cur,
+            "delta_fraction": delta,
+        }
+        improved = delta > 0 if higher_is_better else delta < 0
+        if abs(delta) <= threshold:
+            unchanged.append(entry)
+        elif improved:
+            improvements.append(entry)
+        else:
+            regressions.append(entry)
+    return {
+        "regressions": regressions,
+        "improvements": improvements,
+        "unchanged": unchanged,
+        "ok": not regressions,
+    }
+
+
+def format_compare(result: dict) -> str:
+    """Render a :func:`compare` result as markdown."""
+    lines = ["# BENCH comparison", ""]
+    verdict = "OK — no regressions" if result["ok"] else (
+        f"REGRESSED — {len(result['regressions'])} metric(s) worse"
+    )
+    lines += [f"**{verdict}**", ""]
+    for heading, key in (
+        ("Regressions", "regressions"),
+        ("Improvements", "improvements"),
+        ("Unchanged", "unchanged"),
+    ):
+        entries = result[key]
+        if not entries:
+            continue
+        lines += [f"## {heading}", "", "| metric | baseline | current | delta |",
+                  "|---|---|---|---|"]
+        for e in entries:
+            lines.append(
+                f"| `{e['metric']}` | {e['baseline']:.4g} | {e['current']:.4g} "
+                f"| {e['delta_fraction']:+.1%} |"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

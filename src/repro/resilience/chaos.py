@@ -129,12 +129,17 @@ def run_chaos(
     bus=None,
     counters: FaultCounters | None = None,
     telemetry=None,
+    watchdog=None,
 ) -> ChaosReport:
     """Run the scenario under supervision; returns the ChaosReport.
 
     When ``telemetry`` is given, fault counters and retry latencies flow
     through its metrics registry — ``telemetry.dump()`` afterwards is one
-    unified view of ``faults.*``, ``retry.*`` and any span breakdowns.
+    unified view of ``faults.*``, ``retry.*`` and any span breakdowns —
+    and a :class:`~repro.observe.watchdog.Watchdog` (built automatically
+    unless one is passed) watches every step: its alerts land in
+    ``report.alerts`` and sustained SSD-pressure/retry-storm alerts in
+    ``report.recommendations``.
     """
     plan = make_fault_plan(config)
     policy = RetryPolicy(
@@ -143,6 +148,10 @@ def run_chaos(
     )
     if telemetry is not None and counters is None:
         counters = FaultCounters(registry=telemetry.registry)
+    if telemetry is not None and watchdog is None:
+        from repro.observe.watchdog import Watchdog
+
+        watchdog = Watchdog(telemetry=telemetry, bus=bus)
     trainer = ResilientTrainer(
         engine_factory(config, plan, policy),
         checkpoint_dir=checkpoint_dir,
@@ -152,6 +161,7 @@ def run_chaos(
         bus=bus,
         retry_policy=policy,
         world_size=config.world_size,
+        watchdog=watchdog,
     )
     try:
         report = trainer.train(make_batches(config))

@@ -55,6 +55,12 @@ class ChaosReport:
     degraded: bool = False
     final_world_size: int = 1
     fault_log: list = field(default_factory=list)
+    #: Watchdog alerts fired during the supervised run (repro.observe).
+    alerts: list = field(default_factory=list)
+    #: Advisory actions derived from sustained alerts — e.g. a retry
+    #: storm or a saturated SSD edge recommending ``degrade_tier``. The
+    #: supervisor never acts on these automatically.
+    recommendations: list[str] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
@@ -78,6 +84,7 @@ class ResilientTrainer:
         world_size: int = 2,
         max_recoveries: int = 8,
         keep_checkpoints: int = 3,
+        watchdog=None,
     ):
         if checkpoint_every < 1:
             raise ConfigurationError("checkpoint_every must be >= 1")
@@ -95,6 +102,11 @@ class ResilientTrainer:
         self.world_size = world_size
         self.max_recoveries = max_recoveries
         self.keep_checkpoints = keep_checkpoints
+        #: Optional repro.observe.Watchdog evaluated at every completed
+        #: step; its alerts land in the ChaosReport, and sustained
+        #: SSD-latency / retry-storm alerts surface a ``degrade_tier``
+        #: recommendation (never an automatic action).
+        self.watchdog = watchdog
         self._ssd_alive = True
         os.makedirs(checkpoint_dir, exist_ok=True)
 
@@ -205,6 +217,21 @@ class ResilientTrainer:
         return engine, step
 
     # ------------------------------------------------------------------
+    # Health watching (repro.observe)
+    # ------------------------------------------------------------------
+    def _watch(self, engine, step: int, report: ChaosReport) -> None:
+        """Run the watchdog at a step boundary; collect alerts + advice."""
+        if self.watchdog is None:
+            return
+        from repro.observe.alerts import degrade_recommendation
+
+        for alert in self.watchdog.observe_engine(engine, step=step):
+            report.alerts.append(alert)
+            recommendation = degrade_recommendation(alert)
+            if recommendation and recommendation not in report.recommendations:
+                report.recommendations.append(recommendation)
+
+    # ------------------------------------------------------------------
     # Supervised loop
     # ------------------------------------------------------------------
     def train(self, batches) -> ChaosReport:
@@ -240,6 +267,7 @@ class ResilientTrainer:
                 engine.step()
                 report.losses.append(loss.item())
                 step += 1
+                self._watch(engine, step, report)
                 if step % self.checkpoint_every == 0:
                     self.save_checkpoint(engine, step)
             except TierFailedError:

@@ -61,6 +61,7 @@ class ScheduleExecutor:
         backend: str = "null",
         retry_policy=None,
         telemetry=None,
+        forensics=None,
     ):
         self.plan = plan
         self.page_bytes = page_bytes
@@ -74,6 +75,14 @@ class ScheduleExecutor:
         #: repro.telemetry.Telemetry: replay spans, per-edge page traffic
         #: (via the allocator) and all-gather byte counters.
         self.telemetry = telemetry
+        if forensics is None:
+            from repro.observe.forensics import ForensicRecorder
+
+            forensics = ForensicRecorder()
+        #: repro.observe ForensicRecorder: an OOM during replay carries
+        #: the failing trigger id and the tasks the scheduler had planned
+        #: there — Algorithm 1's arithmetic error, made legible.
+        self.forensics = forensics
         cpu_capacity = max(
             2 * sum(t.shard_bytes for t in plan.layer_pages) + 64 * page_bytes,
             4 * page_bytes,
@@ -92,6 +101,7 @@ class ScheduleExecutor:
             },
             retry_policy=retry_policy,
             telemetry=telemetry if telemetry.enabled else None,
+            forensics=forensics,
         )
         self.bus = EventBus()
 
@@ -137,6 +147,12 @@ class ScheduleExecutor:
         for op_id in sorted(computes):
             layer_index = computes[op_id]
             layer = layer_by_index[layer_index]
+            # An OOM anywhere in this trigger's work names the trigger and
+            # the tasks the scheduler planned to release here.
+            self.forensics.set_context(
+                trigger_id=op_id, planned_tasks=by_trigger.get(op_id, [])
+            )
+            self.forensics.sample(op_id, self.allocator.residency_report())
 
             # Allocator / Communicator tasks released at this trigger.
             # Evictions free space first, then staging moves, then the

@@ -75,6 +75,10 @@ class Schedule:
     def of(self, operation: Operation) -> list[ScheduledTask]:
         return [t for t in self.tasks if t.operation == operation]
 
+    def at_trigger(self, trigger_id: int) -> list[ScheduledTask]:
+        """Tasks released at one logical op (the forensics' failure view)."""
+        return [t for t in self.tasks if t.trigger_id == trigger_id]
+
     def pop_last_movement(self) -> ScheduledTask:
         """Phase 1, lines 7-9: remove the most recent movement task."""
         for index in range(len(self.tasks) - 1, -1, -1):

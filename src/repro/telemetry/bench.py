@@ -41,6 +41,9 @@ class ProfileConfig:
     sim_batch: int = 4
     #: Also run telemetry-off to measure instrumentation overhead.
     measure_overhead: bool = True
+    #: Run the repro.observe watchdog at each step boundary; fired alerts
+    #: and the residency timeline land in the BENCH payload.
+    watch: bool = True
 
 
 def _build_engine(config: ProfileConfig, telemetry):
@@ -64,8 +67,10 @@ def _build_engine(config: ProfileConfig, telemetry):
     return initialize(model, optimizer, angel)
 
 
-def _train_once(config: ProfileConfig, telemetry) -> tuple[float, list[float]]:
-    """One training run; returns (elapsed_seconds, losses)."""
+def _train_once(
+    config: ProfileConfig, telemetry, watchdog=None
+) -> tuple[float, list[float], list[dict]]:
+    """One training run; returns (elapsed_seconds, losses, memory_timeline)."""
     from repro.nn import lm_synthetic_batches
 
     clock = telemetry.clock
@@ -73,18 +78,21 @@ def _train_once(config: ProfileConfig, telemetry) -> tuple[float, list[float]]:
     losses = []
     try:
         started = clock.perf()
-        for batch in lm_synthetic_batches(
+        for step, batch in enumerate(lm_synthetic_batches(
             config.vocab_size, config.seq_len, config.batch_size,
             config.steps, seed=config.seed + 1,
-        ):
+        )):
             loss = engine(batch)
             engine.backward(loss)
             engine.step()
             losses.append(loss.item())
+            if watchdog is not None:
+                watchdog.observe_engine(engine, step=step + 1)
         elapsed = clock.perf() - started
+        timeline = engine.forensics.timeline_payload()
     finally:
         engine.close()
-    return elapsed, losses
+    return elapsed, losses, timeline
 
 
 def _simulate_once(config: ProfileConfig, telemetry) -> dict:
@@ -121,12 +129,23 @@ def run_profile(
     config = config or ProfileConfig()
     telemetry = telemetry or Telemetry()
 
-    elapsed, losses = _train_once(config, telemetry)
+    watchdog = None
+    if config.watch:
+        from repro.observe.watchdog import Watchdog, WatchdogConfig
+
+        watchdog = Watchdog(
+            telemetry=telemetry,
+            config=WatchdogConfig(
+                update_interval=4 if config.lock_free else 1
+            ),
+        )
+
+    elapsed, losses, memory_timeline = _train_once(config, telemetry, watchdog)
     simulated = _simulate_once(config, telemetry)
 
     overhead = None
     if config.measure_overhead:
-        baseline_elapsed, _ = _train_once(config, Telemetry(enabled=False))
+        baseline_elapsed, _, _ = _train_once(config, Telemetry(enabled=False))
         overhead = {
             "instrumented_seconds": elapsed,
             "disabled_seconds": baseline_elapsed,
@@ -156,6 +175,8 @@ def run_profile(
         "simulated": simulated,
         "per_tier_edge_bytes": page_edges,
         "overhead": overhead,
+        "memory_timeline": memory_timeline,
+        "alerts": watchdog.payload() if watchdog is not None else [],
         "telemetry": dump,
     }
     return report, telemetry

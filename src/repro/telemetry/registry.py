@@ -53,22 +53,25 @@ class Counter:
 class Gauge:
     """A value that goes up and down (pages in use, cache bytes)."""
 
-    __slots__ = ("name", "labels", "_value")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
     def __init__(self, name: str, labels: dict):
         self.name = name
         self.labels = labels
         self._value = 0
+        self._lock = threading.Lock()
 
     @property
     def value(self):
         return self._value
 
     def set(self, value) -> None:
-        self._value = value
+        with self._lock:
+            self._value = value
 
     def add(self, amount) -> None:
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
 
 class Histogram:
@@ -92,11 +95,13 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        with self._lock:
+            return len(self._samples)
 
     @property
     def sum(self) -> float:
-        return sum(self._samples)
+        with self._lock:
+            return sum(self._samples)
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile of the observations, ``q`` in [0, 100]."""
@@ -152,7 +157,10 @@ class _NullInstrument:
         return 0.0
 
     def summary(self) -> dict:
-        return {"count": 0, "sum": 0.0}
+        # Matches the empty-Histogram summary exactly, so report code
+        # never branches on which keys exist.
+        return {"count": 0, "sum": 0.0, "mean": 0.0,
+                "min": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
 
 
 NULL_INSTRUMENT = _NullInstrument()

@@ -100,3 +100,75 @@ class TestCli:
         out = capsys.readouterr().out
         assert "(none)" in out  # empty fault log
         assert "|delta| 0.0000" in out  # bit-for-bit with the reference
+
+
+class TestReportCli:
+    def _profile(self, outdir, steps=2):
+        assert main([
+            "profile", "--steps", str(steps), "--no-overhead",
+            "--outdir", str(outdir),
+        ]) == 0
+
+    def test_profile_with_report_writes_run_report(self, capsys, tmp_path):
+        assert main([
+            "profile", "--steps", "3", "--no-overhead", "--report",
+            "--outdir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "watchdog alerts" in out  # tight defaults always fire
+        assert "run_report.md" in out
+        markdown = (tmp_path / "run_report.md").read_text()
+        assert "## Memory waterfall" in markdown
+        assert "## Tier traffic" in markdown
+        assert "## Anomalies" in markdown
+        assert "No watchdog alerts fired." not in markdown
+        assert (tmp_path / "run_report.html").exists()
+
+    def test_report_build_from_bench_and_trace(self, capsys, tmp_path):
+        self._profile(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "report", "build",
+            "--bench", str(tmp_path / "BENCH_telemetry.json"),
+            "--trace", str(tmp_path / "telemetry_trace.json"),
+            "--html",
+        ]) == 0
+        assert "run_report.md" in capsys.readouterr().out
+        markdown = (tmp_path / "run_report.md").read_text()
+        assert "## Summary" in markdown and "## Trace" in markdown
+        html = (tmp_path / "run_report.html").read_text()
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_report_build_missing_bench(self, capsys, tmp_path):
+        assert main([
+            "report", "build", "--bench", str(tmp_path / "missing.json"),
+        ]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_report_compare_flags_injected_regression(self, capsys, tmp_path):
+        import json
+
+        self._profile(tmp_path)
+        capsys.readouterr()
+        baseline = json.loads((tmp_path / "BENCH_telemetry.json").read_text())
+        regressed = json.loads(json.dumps(baseline))
+        regressed["train"]["steps_per_second"] *= 0.5  # injected regression
+        regressed["train"]["elapsed_seconds"] *= 2.0
+        base_path = tmp_path / "BENCH_base.json"
+        cur_path = tmp_path / "BENCH_cur.json"
+        base_path.write_text(json.dumps(baseline))
+        cur_path.write_text(json.dumps(regressed))
+        # Regressions exit nonzero so CI can gate on the comparison.
+        assert main(["report", "compare", str(base_path), str(cur_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "train.steps_per_second" in out
+        # Identical payloads pass.
+        assert main(["report", "compare", str(base_path), str(base_path)]) == 0
+        assert "OK — no regressions" in capsys.readouterr().out
+
+    def test_report_compare_missing_file(self, capsys, tmp_path):
+        assert main([
+            "report", "compare", str(tmp_path / "a.json"),
+            str(tmp_path / "b.json"),
+        ]) == 2
+        assert "no such file" in capsys.readouterr().err

@@ -98,6 +98,82 @@ class TestMetricsRegistry:
     def test_unregistered_value_is_zero(self):
         assert MetricsRegistry().value("never.recorded") == 0
 
+    def test_null_instrument_summary_matches_empty_histogram(self):
+        # Report code reads the same keys from either, so the shapes must
+        # never drift apart.
+        empty = MetricsRegistry().histogram("h").summary()
+        assert NULL_INSTRUMENT.summary() == empty
+        assert empty == {"count": 0, "sum": 0.0, "mean": 0.0,
+                         "min": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+
+
+class TestConcurrentRecording:
+    """Threads hammer shared instruments while dump() snapshots them."""
+
+    THREADS = 8
+    ITERATIONS = 500
+
+    def _hammer(self, registry, record):
+        barrier = threading.Barrier(self.THREADS + 1)
+
+        def worker():
+            barrier.wait()
+            for _ in range(self.ITERATIONS):
+                record()
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        # Concurrent dumps must neither crash nor corrupt the totals.
+        for _ in range(50):
+            registry.dump()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_total_is_exact_under_contention(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        self._hammer(registry, lambda: counter.inc(3))
+        assert counter.value == 3 * self.THREADS * self.ITERATIONS
+
+    def test_gauge_add_is_exact_under_contention(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("pages")
+        self._hammer(registry, lambda: gauge.add(2))
+        assert gauge.value == 2 * self.THREADS * self.ITERATIONS
+
+    def test_histogram_count_and_sum_are_exact_under_contention(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        self._hammer(registry, lambda: histogram.observe(0.5))
+        expected = self.THREADS * self.ITERATIONS
+        assert histogram.count == expected
+        assert histogram.sum == pytest.approx(0.5 * expected)
+        summary = histogram.summary()
+        assert summary["count"] == expected
+        assert summary["min"] == summary["max"] == 0.5
+
+    def test_get_or_create_race_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker():
+            barrier.wait()
+            seen.append(registry.counter("shared", tier="gpu"))
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(instrument is seen[0] for instrument in seen)
+
 
 class TestSpanTracer:
     def test_nested_spans_durations_and_depth(self):
