@@ -1,0 +1,38 @@
+"""Static analysis: schedule verification + concurrency lint.
+
+Two prongs behind ``repro check``:
+
+- :mod:`repro.analysis.verifier` symbolically replays an Algorithm-1
+  :class:`~repro.scheduler.unified.IterationPlan` against the planner's
+  own memory model and proves the schedule invariants (or emits
+  machine-readable counterexamples with trigger id and page
+  provenance).
+- :mod:`repro.analysis.lint` AST-scans the repo for cross-thread
+  shared-state races (SA001) and lock-order cycles (SA002), gated by a
+  checked-in baseline (:mod:`repro.analysis.baseline`).
+"""
+
+from repro.analysis.baseline import compare, load_baseline, save_baseline
+from repro.analysis.invariants import (
+    LINT_RULES,
+    SCHEDULE_INVARIANTS,
+    VerificationResult,
+    Violation,
+)
+from repro.analysis.lint import ConcurrencyLinter, LintFinding, lint_tree
+from repro.analysis.verifier import ScheduleVerifier, verify_plan
+
+__all__ = [
+    "ConcurrencyLinter",
+    "LINT_RULES",
+    "LintFinding",
+    "SCHEDULE_INVARIANTS",
+    "ScheduleVerifier",
+    "VerificationResult",
+    "Violation",
+    "compare",
+    "lint_tree",
+    "load_baseline",
+    "save_baseline",
+    "verify_plan",
+]

@@ -6,6 +6,7 @@ Entry points a downstream adopter needs without writing Python::
     python -m repro.cli plan --model gpt3-28b --servers 1
     python -m repro.cli simulate --model gpt3-13b --servers 1 --batch 4
     python -m repro.cli train --steps 100 --lock-free --ssd
+    python -m repro.cli check --schedule           # static verification
     python -m repro.cli experiment table5          # any table/figure
 """
 
@@ -172,6 +173,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     sim = report["simulated"]
     print(f"simulated       : {sim['model']} -> "
           f"{sim['samples_per_second']:.2f} samples/s")
+    verification = report.get("verification")
+    if verification:
+        invariants = verification.get("invariants", [])
+        violations = verification.get("violations", [])
+        if verification.get("ok"):
+            print(f"verification    : schedule verified: {len(invariants)} "
+                  f"invariants, 0 violations")
+        else:
+            print(f"verification    : schedule INVALID: "
+                  f"{len(violations)} violation(s)")
     print("per-tier traffic:")
     for key, value in sorted(report["per_tier_edge_bytes"].items()):
         print(f"  {key:<40} {value / MiB:8.2f} MiB")
@@ -201,6 +212,96 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         for path in written:
             print(f"wrote           : {path}")
     return 0
+
+
+def _check_schedule(args: argparse.Namespace, payload: dict) -> int:
+    """Prong 1: statically verify the Algorithm-1 schedule."""
+    from repro.analysis.verifier import verify_plan
+    from repro.hardware.cluster import a100_cluster
+    from repro.models import get_model
+    from repro.scheduler.unified import UnifiedScheduler
+
+    scheduler = UnifiedScheduler(a100_cluster(args.servers))
+    plan = scheduler.plan(
+        get_model(args.model), args.batch, seq_len=args.seq_len
+    )
+    result = verify_plan(plan, scheduler.gpu_budget)
+    payload["schedule"] = result.to_dict()
+    if not args.json:
+        print(f"schedule check  : {args.model}, {args.servers} server(s), "
+              f"micro-batch {args.batch}")
+        print(f"  {result.summary()}")
+        for violation in result.violations:
+            print(f"  [{violation.invariant}] trigger "
+                  f"{violation.trigger_id}: {violation.message}")
+            for trigger, event in violation.provenance:
+                print(f"      provenance: trigger {trigger}: {event}")
+    return 0 if result.ok else 1
+
+
+def _check_self(args: argparse.Namespace, payload: dict) -> int:
+    """Prong 2: concurrency-lint the repo against the baseline."""
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.baseline import (
+        DEFAULT_BASELINE_NAME, compare, load_baseline, save_baseline,
+    )
+    from repro.analysis.lint import lint_tree
+
+    root = Path(repro.__file__).parent
+    baseline_path = (
+        Path(args.baseline) if args.baseline
+        else _repo_root() / DEFAULT_BASELINE_NAME
+    )
+    findings = lint_tree(root)
+    if args.update_baseline:
+        save_baseline(baseline_path, findings, load_baseline(baseline_path))
+        if not args.json:
+            print(f"self check      : baseline updated with "
+                  f"{len(findings)} finding(s) -> {baseline_path}")
+        payload["self"] = {
+            "updated": True,
+            "findings": [f.to_dict() for f in findings],
+        }
+        return 0
+    verdict = compare(findings, load_baseline(baseline_path))
+    payload["self"] = {
+        "new": [f.to_dict() for f in verdict["new"]],
+        "accepted": [f.fingerprint for f in verdict["accepted"]],
+        "resolved": verdict["resolved"],
+    }
+    if not args.json:
+        print(f"self check      : {len(findings)} finding(s), "
+              f"{len(verdict['accepted'])} accepted by baseline, "
+              f"{len(verdict['new'])} new")
+        for finding in verdict["new"]:
+            print(f"  [{finding.rule}] {finding.path}: {finding.subject}")
+            print(f"      {finding.message}")
+        for fingerprint in verdict["resolved"]:
+            print(f"  resolved (prune from baseline): {fingerprint}")
+    return 0 if not verdict["new"] else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    # Neither flag selects a prong: run both (the CI gate's default).
+    run_self = args.self_lint or not args.schedule
+    run_schedule = args.schedule or not args.self_lint
+    payload: dict = {}
+    status = 0
+    if run_self:
+        status = max(status, _check_self(args, payload))
+    if run_schedule:
+        status = max(status, _check_schedule(args, payload))
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    elif status == 0:
+        print("check           : OK")
+    else:
+        print("check           : FAILED", file=sys.stderr)
+    return status
 
 
 def _cmd_report_build(args: argparse.Namespace) -> int:
@@ -415,6 +516,32 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--report", action="store_true",
                          help="also render run_report.md / .html from the run")
     profile.set_defaults(func=_cmd_profile)
+
+    check = sub.add_parser(
+        "check",
+        help="static analysis: schedule verifier + concurrency lint "
+             "(repro.analysis)",
+    )
+    check.add_argument("--self", dest="self_lint", action="store_true",
+                       help="concurrency-lint the repro sources against the "
+                            "checked-in baseline")
+    check.add_argument("--schedule", action="store_true",
+                       help="statically verify the Algorithm-1 schedule for "
+                            "the selected workload")
+    check.add_argument("--model", default="gpt3-13b",
+                       help="model-zoo name for --schedule (default: the "
+                            "bench workload)")
+    check.add_argument("--servers", type=int, default=1)
+    check.add_argument("--batch", type=int, default=4)
+    check.add_argument("--seq-len", type=int, default=2048)
+    check.add_argument("--baseline", default=None,
+                       help="lint baseline path (default: "
+                            "concurrency_baseline.json at the repo root)")
+    check.add_argument("--update-baseline", action="store_true",
+                       help="accept the current lint findings as the baseline")
+    check.add_argument("--json", action="store_true",
+                       help="print the machine-readable result instead")
+    check.set_defaults(func=_cmd_check)
 
     report = sub.add_parser(
         "report", help="render or compare run reports (repro.observe)"

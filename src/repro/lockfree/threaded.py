@@ -60,6 +60,10 @@ class LockFreeTrainer:
         self._params = model.parameters()
         self._buffers = GradientBuffers(self._params)
         self._stop = threading.Event()
+        #: Guards the sweep-progress counters below: they are written on
+        #: the updating thread and read on the GPU loop every iteration
+        #: (found by ``repro check --self``, rule SA001).
+        self._progress_lock = threading.Lock()
         self._sweeps = 0
         #: Iterations whose gradients a completed sweep has folded in; the
         #: GPU loop publishes ``iterations - applied`` as the staleness-lag
@@ -103,8 +107,9 @@ class LockFreeTrainer:
                 refreshed = self.optimizer.apply_gradient(index, grad / count)
                 self._params[index].data[...] = refreshed
             if did_work:
-                self._sweeps += 1
-                self._iterations_applied += covered
+                with self._progress_lock:
+                    self._sweeps += 1
+                    self._iterations_applied += covered
                 if self.sweep_delay:
                     time.sleep(self.sweep_delay)  # emulated SSD I/O
         if did_work and telemetry.enabled:

@@ -3,7 +3,8 @@
 ``repro report build`` merges a ``BENCH_telemetry.json`` payload (and,
 when present, the Chrome trace and the alert log embedded in it) into one
 self-contained markdown — optionally HTML — document: a summary table, a
-per-tier **memory waterfall**, the **tier-traffic table**, the watchdog's
+per-tier **memory waterfall**, the **tier-traffic table**, the static
+**verification verdict** (from :mod:`repro.analysis`), the watchdog's
 **anomaly section**, and the span breakdown. ``repro report compare``
 diffs two BENCH payloads and flags metric regressions, which is how the
 ``BENCH_*.json`` history becomes a perf trajectory instead of a pile of
@@ -16,7 +17,7 @@ import html as _html
 import json
 from pathlib import Path
 
-from repro.units import KiB, MiB
+from repro.units import GiB, KiB, MiB
 
 #: Metrics compared by :func:`compare`: (json path, higher_is_better).
 COMPARED_METRICS = [
@@ -44,6 +45,8 @@ def _get(payload: dict, path: tuple) -> float | None:
 
 
 def _fmt_bytes(nbytes: float) -> str:
+    if nbytes >= GiB:
+        return f"{nbytes / GiB:.2f} GiB"
     if nbytes >= MiB:
         return f"{nbytes / MiB:.2f} MiB"
     if nbytes >= KiB:
@@ -141,6 +144,53 @@ def _traffic_section(bench: dict) -> list[str]:
     return lines + [""]
 
 
+def _verification_section(bench: dict) -> list[str]:
+    """Static schedule-verification verdict (see repro.analysis)."""
+    verification = bench.get("verification")
+    lines = ["## Verification", ""]
+    if not verification:
+        return lines + ["_No schedule verification in this payload._", ""]
+    invariants = verification.get("invariants", [])
+    violations = verification.get("violations", [])
+    if verification.get("ok"):
+        lines.append(
+            f"schedule verified: {len(invariants)} invariants, 0 violations "
+            f"(model `{verification.get('model', '?')}`)"
+        )
+        lines.append("")
+    else:
+        lines.append(
+            f"**schedule INVALID**: {len(violations)} violation(s) on "
+            f"model `{verification.get('model', '?')}`"
+        )
+        lines += ["", "| invariant | trigger | layer | page | message |",
+                  "|---|---|---|---|---|"]
+        for v in violations:
+            lines.append(
+                f"| `{v.get('invariant')}` | {v.get('trigger_id')} "
+                f"| {v.get('layer_index')} | {v.get('page_id')} "
+                f"| {v.get('message', '')} |"
+            )
+        lines.append("")
+    checked = ", ".join(f"`{i.get('name')}`" for i in invariants)
+    if checked:
+        lines.append(f"Invariants checked: {checked}.")
+        lines.append("")
+    stats = verification.get("stats") or {}
+    if stats.get("peak_live_bytes") is not None:
+        budget = stats.get("gpu_budget_bytes") or 0
+        peak = stats["peak_live_bytes"]
+        headroom = (
+            f" ({peak / budget:.1%} of the {_fmt_bytes(budget)} budget)"
+            if budget else ""
+        )
+        lines.append(
+            f"Replayed peak live bytes: {_fmt_bytes(peak)}{headroom}."
+        )
+        lines.append("")
+    return lines
+
+
 def _anomaly_section(bench: dict) -> list[str]:
     alerts = bench.get("alerts") or []
     lines = ["## Anomalies", ""]
@@ -214,6 +264,7 @@ def render_markdown(
     lines += _summary_section(bench)
     lines += _waterfall_section(bench)
     lines += _traffic_section(bench)
+    lines += _verification_section(bench)
     lines += _anomaly_section(bench)
     lines += _span_section(bench)
     lines += _trace_section(trace)

@@ -11,7 +11,6 @@ were wrong anywhere, the pool would raise :class:`OutOfMemoryError` here.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,7 +20,7 @@ from repro.hardware.device import DeviceKind
 from repro.memory.allocator import PageAllocator
 from repro.memory.pool import DevicePool
 from repro.runtime.events import EventBus
-from repro.scheduler.tasks import Operation
+from repro.scheduler.tasks import Operation, index_by_trigger
 from repro.scheduler.unified import IterationPlan
 
 
@@ -127,16 +126,16 @@ class ScheduleExecutor:
                     share_tail=False,
                 )
 
-        by_trigger: dict[int, list] = defaultdict(list)
+        by_trigger = index_by_trigger(
+            plan.schedule, exclude=frozenset({Operation.COMPUTE})
+        )
         computes: dict[int, int] = {}
         gather_of_op: dict[int, object] = {}
         for task in plan.schedule:
             if task.operation == Operation.COMPUTE:
                 computes[task.op_id] = task.layer_index
-            else:
-                by_trigger[task.trigger_id].append(task)
-                if task.operation == Operation.ALL_GATHER:
-                    gather_of_op[task.op_id] = None  # filled when executed
+            elif task.operation == Operation.ALL_GATHER:
+                gather_of_op[task.op_id] = None  # filled when executed
 
         layer_by_index = {layer.layer_index: layer for layer in trace.layers}
         on_gpu: set[tuple[int, int]] = set()

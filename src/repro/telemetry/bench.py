@@ -95,8 +95,15 @@ def _train_once(
     return elapsed, losses, timeline
 
 
-def _simulate_once(config: ProfileConfig, telemetry) -> dict:
-    """Plan + simulate one analytic iteration on the shared telemetry."""
+def _simulate_once(config: ProfileConfig, telemetry) -> tuple[dict, dict]:
+    """Plan + simulate one analytic iteration on the shared telemetry.
+
+    Returns ``(simulated metrics, verification payload)`` — the plan the
+    simulator ran is also statically verified (see
+    :mod:`repro.analysis.verifier`), so every profile proves its own
+    schedule.
+    """
+    from repro.analysis.verifier import verify_plan
     from repro.hardware.cluster import a100_cluster
     from repro.models import get_model
     from repro.scheduler.unified import UnifiedScheduler
@@ -107,7 +114,8 @@ def _simulate_once(config: ProfileConfig, telemetry) -> dict:
     result = scheduler.simulate(
         get_model(config.sim_model), config.sim_batch
     )
-    return {
+    verification = verify_plan(result.plan, scheduler.gpu_budget).to_dict()
+    simulated = {
         "model": config.sim_model,
         "micro_batch": config.sim_batch,
         "iteration_time_seconds": result.iteration_time,
@@ -115,6 +123,7 @@ def _simulate_once(config: ProfileConfig, telemetry) -> dict:
         "gpu_busy_fraction": result.gpu_busy_fraction,
         "pcie_busy_fraction": result.pcie_busy_fraction,
     }
+    return simulated, verification
 
 
 def run_profile(
@@ -141,7 +150,7 @@ def run_profile(
         )
 
     elapsed, losses, memory_timeline = _train_once(config, telemetry, watchdog)
-    simulated = _simulate_once(config, telemetry)
+    simulated, verification = _simulate_once(config, telemetry)
 
     overhead = None
     if config.measure_overhead:
@@ -173,6 +182,7 @@ def run_profile(
             "final_loss": losses[-1] if losses else None,
         },
         "simulated": simulated,
+        "verification": verification,
         "per_tier_edge_bytes": page_edges,
         "overhead": overhead,
         "memory_timeline": memory_timeline,

@@ -172,3 +172,62 @@ class TestReportCli:
             str(tmp_path / "b.json"),
         ]) == 2
         assert "no such file" in capsys.readouterr().err
+
+
+class TestCheckCli:
+    def _baseline_path(self):
+        from pathlib import Path
+
+        import repro
+
+        return Path(repro.__file__).parent.parent.parent / "concurrency_baseline.json"
+
+    def test_check_self_clean_against_committed_baseline(self, capsys):
+        assert main([
+            "check", "--self", "--baseline", str(self._baseline_path()),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "accepted by baseline" in out
+        assert "0 new" in out
+        assert "check           : OK" in out
+
+    def test_check_self_fails_without_baseline(self, capsys, tmp_path):
+        # The accepted update_error publish counts as new when the
+        # baseline is empty: the gate fails and names the finding.
+        assert main([
+            "check", "--self", "--baseline", str(tmp_path / "none.json"),
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "SA001" in captured.out
+        assert "update_error" in captured.out
+        assert "FAILED" in captured.err
+
+    def test_check_update_baseline_round_trip(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "check", "--self", "--update-baseline",
+            "--baseline", str(baseline),
+        ]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(["check", "--self", "--baseline", str(baseline)]) == 0
+
+    def test_check_schedule_verifies_small_model(self, capsys):
+        assert main([
+            "check", "--schedule", "--model", "gpt3-1.7b", "--batch", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "schedule verified: 8 invariants, 0 violations" in out
+
+    def test_check_json_payload(self, capsys):
+        import json
+
+        assert main([
+            "check", "--json", "--model", "gpt3-1.7b", "--batch", "1",
+            "--baseline", str(self._baseline_path()),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["self"]["new"] == []
+        assert payload["schedule"]["ok"] is True
+        names = [i["name"] for i in payload["schedule"]["invariants"]]
+        assert "use-before-fetch" in names and "oom-at-trigger" in names

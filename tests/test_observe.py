@@ -31,7 +31,7 @@ from repro.observe import (
 from repro.runtime.events import EventBus
 from repro.scheduler.tasks import Operation, Schedule, ScheduledTask
 from repro.telemetry import Telemetry
-from repro.units import KiB, MiB
+from repro.units import GiB, KiB, MiB
 
 
 def snap(step, counters=None, gauges=None, memory=None):
@@ -477,3 +477,45 @@ class TestResilienceIntegration:
         assert telemetry.registry.value(
             "watchdog.alerts", rule="retry_storm", severity="WARNING"
         ) >= 1
+
+
+class TestVerificationSection:
+    def _verification(self, ok=True):
+        violations = [] if ok else [{
+            "invariant": "use-before-fetch", "trigger_id": 7,
+            "layer_index": 2, "page_id": 1, "tensor_id": -1,
+            "message": "all-gather of layer 2 before page(s) [1] arrived",
+            "provenance": [],
+        }]
+        return {
+            "ok": ok, "model": "gpt3-13b",
+            "invariants": [
+                {"name": "use-before-fetch", "violations": len(violations)},
+                {"name": "oom-at-trigger", "violations": 0},
+            ],
+            "violations": violations,
+            "stats": {
+                "peak_live_bytes": 2.0 * GiB,
+                "gpu_budget_bytes": 4 * GiB,
+            },
+        }
+
+    def test_verified_schedule_renders_verdict(self):
+        bench = make_bench()
+        bench["verification"] = self._verification(ok=True)
+        markdown = render_markdown(bench)
+        assert "## Verification" in markdown
+        assert "schedule verified: 2 invariants, 0 violations" in markdown
+        assert "`use-before-fetch`" in markdown
+        assert "2.00 GiB" in markdown and "50.0%" in markdown
+
+    def test_violations_render_as_counterexample_table(self):
+        bench = make_bench()
+        bench["verification"] = self._verification(ok=False)
+        markdown = render_markdown(bench)
+        assert "**schedule INVALID**: 1 violation(s)" in markdown
+        assert "| `use-before-fetch` | 7 | 2 | 1 |" in markdown
+
+    def test_payload_without_verification_degrades(self):
+        markdown = render_markdown({"benchmark": "x"})
+        assert "_No schedule verification in this payload._" in markdown
