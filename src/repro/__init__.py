@@ -6,24 +6,49 @@ SSD update mechanism (Algorithm 2), ZeRO-style data parallelism, and the
 discrete-event and functional substrates needed to reproduce the paper's
 evaluation without GPU hardware.
 
-Quickstart (the paper's Figure 6 interface)::
+Quickstart (the paper's Figure 6 interface, via the unified facade)::
 
-    from repro import nn
-    from repro.engine import initialize, AngelConfig
+    from repro import api, nn
 
     model = nn.TinyTransformerLM(vocab_size=64, d_model=32, d_ffn=64,
                                  num_heads=4, num_layers=2)
     optimizer = nn.MixedPrecisionAdam(model.parameters(), lr=3e-3)
-    engine = initialize(model, optimizer, AngelConfig())
+    engine = api.initialize(model, optimizer, api.AngelConfig(pipeline=True))
     for batch in nn.lm_synthetic_batches(64, 16, 8, 100):
         loss = engine(batch)
         engine.backward(loss)
         engine.step()
+
+``repro.api`` also fronts profiling (``api.profile``), chaos testing
+(``api.chaos``), run reports (``api.report``) and static verification
+(``api.check``).
 """
 
-from repro import errors, units
-from repro.engine.angel import AngelConfig, AngelModel, initialize
+from repro import api, errors, units
 
 __version__ = "1.0.0"
 
-__all__ = ["AngelConfig", "AngelModel", "initialize", "errors", "units", "__version__"]
+#: Legacy top-level names, kept working behind a deprecation shim;
+#: ``repro.api`` (or ``repro.engine``) is the supported address.
+_DEPRECATED_EXPORTS = ("AngelConfig", "AngelModel", "initialize")
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_EXPORTS:
+        import warnings
+
+        warnings.warn(
+            f"'repro.{name}' is deprecated; import it from 'repro.api' "
+            "(or 'repro.engine') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(list(globals()) + list(_DEPRECATED_EXPORTS))
+
+
+__all__ = ["api", "errors", "units", "__version__", *_DEPRECATED_EXPORTS]

@@ -1,0 +1,103 @@
+"""The unified ``repro.api`` surface.
+
+One import gives a downstream user the whole toolkit — the Figure 6
+training interface, the profiling harness, chaos testing, run reports and
+static verification — without memorizing which subsystem owns what::
+
+    from repro import api
+
+    engine = api.initialize(model, optimizer, api.AngelConfig(pipeline=True))
+    ...train...
+    result = api.check(engine.executed_plan(),
+                       gpu_budget_bytes=engine.config.gpu_memory_bytes)
+
+Each function is a thin, documented entry point over the real subsystem
+(:mod:`repro.engine`, :mod:`repro.telemetry.bench`,
+:mod:`repro.resilience`, :mod:`repro.observe.report`,
+:mod:`repro.analysis.verifier`); the subsystems remain importable
+directly, and nothing here adds behavior — only a stable address.
+Imports inside the functions keep ``import repro`` light.
+"""
+
+from __future__ import annotations
+
+from repro.engine.angel import AngelConfig, AngelModel, initialize
+from repro.protocols import FaultPlanLike, RetryPolicyLike, TelemetryLike
+
+
+def profile(config=None, **overrides):
+    """Profile the functional engine; returns ``(report, telemetry)``.
+
+    ``config`` is a :class:`repro.telemetry.bench.ProfileConfig` (defaults
+    to the CI smoke workload); keyword overrides replace individual
+    fields, e.g. ``api.profile(steps=20, pipeline=True)``. The report
+    dict is what ``repro profile`` writes to ``BENCH_telemetry.json``.
+    """
+    from dataclasses import replace
+
+    from repro.telemetry.bench import ProfileConfig, run_profile
+
+    if config is None:
+        config = ProfileConfig()
+    if overrides:
+        config = replace(config, **overrides)
+    return run_profile(config)
+
+
+def chaos(config=None, workdir=None, telemetry=None):
+    """Run the fault-injection harness; returns a ``ChaosReport``.
+
+    ``config`` is a :class:`repro.resilience.ChaosConfig`; ``workdir``
+    holds checkpoints (a fresh temp dir when omitted).
+    """
+    import tempfile
+
+    from repro.resilience import ChaosConfig, run_chaos
+
+    if config is None:
+        config = ChaosConfig()
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    return run_chaos(config, workdir, telemetry=telemetry)
+
+
+def report(bench, out, trace=None, html=False):
+    """Render a run report from a ``BENCH_telemetry.json`` payload.
+
+    ``bench`` is the payload dict (or a path to one); returns the list of
+    written paths, same as ``repro report build``.
+    """
+    from repro.observe.report import load_payload, write_report
+
+    if not isinstance(bench, dict):
+        bench = load_payload(bench)
+    return write_report(bench, out, trace=trace, html=html)
+
+
+def check(plan, gpu_budget_bytes, update_interval=1):
+    """Statically verify an :class:`~repro.scheduler.unified.IterationPlan`.
+
+    Works on any plan regardless of origin — simulated
+    (``UnifiedScheduler.plan``), live (``engine.executed_plan()``) or
+    hand-built — because all three are the same currency. Returns a
+    :class:`repro.analysis.verifier.VerificationResult`.
+    """
+    from repro.analysis.verifier import verify_plan
+
+    return verify_plan(
+        plan, gpu_budget_bytes, update_interval=update_interval
+    )
+
+
+__all__ = [
+    "AngelConfig",
+    "AngelModel",
+    "FaultPlanLike",
+    "RetryPolicyLike",
+    "TelemetryLike",
+    "chaos",
+    "check",
+    "initialize",
+    "profile",
+    "report",
+]

@@ -109,6 +109,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         page_bytes=64 * KiB,
         lock_free=args.lock_free,
         update_interval=4 if args.lock_free else 1,
+        pipeline=args.pipeline,
     )
     engine = initialize(model, optimizer, config)
     losses = []
@@ -125,6 +126,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
           f"(from {np.mean(losses[:10]):.4f})")
     for tier, stats in engine.memory_report().items():
         print(f"  {tier}: peak {stats['peak_pages']} pages")
+    if args.pipeline:
+        pipeline = engine.pipeline_report()
+        prefetch = pipeline.get("prefetch", {})
+        print(f"pipeline: stalled {pipeline['stall_seconds']*1e3:.1f}ms, "
+              f"{prefetch.get('prefetched_groups', 0)} groups prefetched "
+              f"({prefetch.get('prefetched_bytes', 0) / MiB:.1f} MiB), "
+              f"{pipeline.get('cached_layers_live', 0)} layers GPU-cached")
     engine.close()
     return 0
 
@@ -153,7 +161,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         layers=args.layers,
         seed=args.seed,
         lock_free=args.lock_free,
+        pipeline=args.pipeline,
         measure_overhead=not args.no_overhead,
+        compare_pipeline=not args.no_compare,
         watch=not args.no_watch,
     )
     report, telemetry = run_profile(config)
@@ -186,6 +196,21 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print("per-tier traffic:")
     for key, value in sorted(report["per_tier_edge_bytes"].items()):
         print(f"  {key:<40} {value / MiB:8.2f} MiB")
+    compare = report.get("pipeline_compare")
+    if compare:
+        pipelined = compare["pipelined"]
+        prefetch = pipelined.get("prefetch") or {}
+        print(f"pipeline overlap: {compare['speedup']:.2f}x vs sync on the "
+              f"SSD tier ({compare['sync']['steps_per_second']:.2f} -> "
+              f"{pipelined['steps_per_second']:.2f} steps/s)")
+        print(f"  stalled {pipelined['stall_seconds'] * 1e3:7.1f} ms awaiting prefetch; "
+              f"demand fetches {pipelined['demand_fetch_seconds'] * 1e3:7.1f} ms")
+        print(f"  {prefetch.get('prefetched_groups', 0)} groups staged "
+              f"({prefetch.get('prefetched_bytes', 0) / MiB:.1f} MiB), "
+              f"{pipelined.get('cached_layers_live', 0)} layers GPU-cached, "
+              f"{(pipelined.get('writeback') or {}).get('flushed', 0)} async flushes")
+        print(f"  numerics bit-identical to sync: "
+              f"{compare['bit_identical_losses']}")
     if report["overhead"] is not None:
         print(f"span overhead   : "
               f"{report['overhead']['overhead_fraction']:+.1%} vs disabled")
@@ -214,22 +239,56 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _live_engine_plan():
+    """Train the tiny pipelined workload and return (plan, gpu_budget).
+
+    The returned plan is ``engine.executed_plan()`` — the exact object
+    the live prefetch worker consumed, not a re-plan — so the verifier
+    certifies what actually ran.
+    """
+    from repro.engine.angel import AngelConfig, initialize
+    from repro.nn import MixedPrecisionAdam, TinyTransformerLM, lm_synthetic_batches
+
+    model = TinyTransformerLM(
+        vocab_size=32, d_model=32, d_ffn=64, num_heads=4,
+        num_layers=2, max_seq=16, seed=0,
+    )
+    optimizer = MixedPrecisionAdam(model.parameters(), lr=2e-3)
+    config = AngelConfig(
+        gpu_memory_bytes=4 * MiB, cpu_memory_bytes=64 * MiB,
+        page_bytes=64 * KiB, pipeline=True,
+    )
+    with initialize(model, optimizer, config) as engine:
+        for batch in lm_synthetic_batches(32, 16, 8, 3, seed=1):
+            loss = engine(batch)
+            engine.backward(loss)
+            engine.step()
+        return engine.executed_plan(), config.gpu_memory_bytes
+
+
 def _check_schedule(args: argparse.Namespace, payload: dict) -> int:
     """Prong 1: statically verify the Algorithm-1 schedule."""
     from repro.analysis.verifier import verify_plan
-    from repro.hardware.cluster import a100_cluster
-    from repro.models import get_model
-    from repro.scheduler.unified import UnifiedScheduler
 
-    scheduler = UnifiedScheduler(a100_cluster(args.servers))
-    plan = scheduler.plan(
-        get_model(args.model), args.batch, seq_len=args.seq_len
-    )
-    result = verify_plan(plan, scheduler.gpu_budget)
+    if args.live:
+        plan, gpu_budget = _live_engine_plan()
+        workload = "live functional engine (pipelined)"
+    else:
+        from repro.hardware.cluster import a100_cluster
+        from repro.models import get_model
+        from repro.scheduler.unified import UnifiedScheduler
+
+        scheduler = UnifiedScheduler(a100_cluster(args.servers))
+        plan = scheduler.plan(
+            get_model(args.model), args.batch, seq_len=args.seq_len
+        )
+        gpu_budget = scheduler.gpu_budget
+        workload = (f"{args.model}, {args.servers} server(s), "
+                    f"micro-batch {args.batch}")
+    result = verify_plan(plan, gpu_budget)
     payload["schedule"] = result.to_dict()
     if not args.json:
-        print(f"schedule check  : {args.model}, {args.servers} server(s), "
-              f"micro-batch {args.batch}")
+        print(f"schedule check  : {workload}")
         print(f"  {result.summary()}")
         for violation in result.violations:
             print(f"  [{violation.invariant}] trigger "
@@ -469,6 +528,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--gpu-mib", type=int, default=4)
     train.add_argument("--ssd", action="store_true")
     train.add_argument("--lock-free", action="store_true")
+    train.add_argument("--pipeline", action="store_true",
+                       help="schedule-driven async prefetch + writeback "
+                            "after the recording iteration")
     train.set_defaults(func=_cmd_train)
 
     chaos = sub.add_parser(
@@ -506,8 +568,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--layers", type=int, default=2)
     profile.add_argument("--seed", type=int, default=0)
     profile.add_argument("--lock-free", action="store_true")
+    profile.add_argument("--pipeline", action="store_true",
+                         help="drive the main profiled run through the "
+                              "pipelined runtime")
     profile.add_argument("--no-overhead", action="store_true",
                          help="skip the telemetry-disabled comparison run")
+    profile.add_argument("--no-compare", action="store_true",
+                         help="skip the pipeline-on vs pipeline-off "
+                              "SSD-tier comparison runs")
     profile.add_argument("--no-watch", action="store_true",
                          help="disable the step-boundary watchdog")
     profile.add_argument("--outdir", default=None,
@@ -528,6 +596,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--schedule", action="store_true",
                        help="statically verify the Algorithm-1 schedule for "
                             "the selected workload")
+    check.add_argument("--live", action="store_true",
+                       help="with --schedule: verify the plan the live "
+                            "pipelined engine actually executed, instead of "
+                            "a simulated workload's")
     check.add_argument("--model", default="gpt3-13b",
                        help="model-zoo name for --schedule (default: the "
                             "bench workload)")

@@ -9,6 +9,7 @@ memory.
 
 from repro.engine.planner import CapacityPlanner, CapacityReport
 from repro.engine.angel import AngelConfig, AngelModel, initialize
+from repro.engine.liveplan import build_live_plan, record_live_trace
 from repro.engine.moe import MoEIterationResult, MoESimEngine
 
 __all__ = [
@@ -17,6 +18,8 @@ __all__ = [
     "AngelConfig",
     "AngelModel",
     "initialize",
+    "build_live_plan",
+    "record_live_trace",
     "MoESimEngine",
     "MoEIterationResult",
 ]

@@ -9,6 +9,16 @@ under pressure), the backward pass deposits gradients into CPU buffers,
 and ``step()`` round-trips the FP32 master states through their pages —
 through real file I/O when the SSD tier is enabled.
 
+With ``pipeline=True`` the engine becomes schedule-driven after its first
+(recording) iteration: the recorded access pattern is planned by the same
+Algorithm-1 pipeline the simulator uses (:mod:`repro.engine.liveplan`), a
+background prefetch worker stages pages ahead of the compute loop
+(:mod:`repro.runtime.pipeline`), the forward hooks *await* a layer instead
+of fetching it, FP32-state flushes move to an async writeback queue, and
+the planned dynamic GPU cache (Section 4.2) is installed live. Numerics
+are bit-identical to the synchronous path — the pipeline only reorders
+byte-preserving page movements.
+
 The training loop is exactly the paper's:
 
     model = angelptm.initialize(model, optimizer, config)
@@ -20,7 +30,9 @@ The training loop is exactly the paper's:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,7 +47,28 @@ from repro.nn.functional import cross_entropy
 from repro.nn.layers import Module
 from repro.nn.optim import MixedPrecisionAdam
 from repro.nn.tensor import Tensor
+from repro.protocols import FaultPlanLike, RetryPolicyLike, TelemetryLike
 from repro.units import KiB, MiB
+
+if TYPE_CHECKING:  # pragma: no cover - the scheduler builds on the engine
+    from repro.scheduler.unified import IterationPlan
+
+#: AngelConfig fields that round-trip through ``to_dict``/``from_dict``.
+#: Collaborator objects (fault_plan, retry_policy, telemetry) and a
+#: pre-built plan are live-only and intentionally excluded.
+_ANGEL_CONFIG_FIELDS = (
+    "gpu_memory_bytes",
+    "cpu_memory_bytes",
+    "ssd_bytes",
+    "page_bytes",
+    "mixed_precision",
+    "lock_free",
+    "update_interval",
+    "ssd_path",
+    "pipeline",
+    "prefetch_window",
+    "writeback",
+)
 
 
 @dataclass(frozen=True)
@@ -50,17 +83,31 @@ class AngelConfig:
     lock_free: bool = False
     update_interval: int = 1
     ssd_path: str | None = None
+    #: Schedule-driven pipelined runtime: after the recording iteration,
+    #: plan the access pattern and drive prefetch/eviction/writeback from
+    #: background workers (Section 4.3's hierarchical pipeline, live).
+    pipeline: bool = False
+    #: How many triggers ahead of the compute horizon the prefetch worker
+    #: may run (the bounded in-flight window).
+    prefetch_window: int = 2
+    #: Flush FP32 states through the async writeback queue instead of
+    #: synchronously inside the update sweep (pipeline mode only).
+    writeback: bool = True
+    #: Optional pre-built repro.scheduler.IterationPlan to execute instead
+    #: of planning from the engine's own recorded trace — the same plan
+    #: object can flow simulator -> live engine -> verifier.
+    plan: "IterationPlan | None" = None
     #: Optional repro.resilience.FaultPlan injected into the SSD tier's
     #: physical backend (chaos testing, Section 3.1's failure model).
-    fault_plan: object | None = None
+    fault_plan: FaultPlanLike | None = None
     #: Optional repro.resilience.RetryPolicy absorbing transient tier I/O
     #: errors on page moves and FP32-state round trips.
-    retry_policy: object | None = None
+    retry_policy: RetryPolicyLike | None = None
     #: Optional repro.telemetry.Telemetry: spans for forward/backward and
     #: update sweeps, per-(src, dst) page-traffic counters, cache hit
     #: rates and sweep-latency histograms. ``None`` keeps the engine on
     #: the no-op fast path.
-    telemetry: object | None = None
+    telemetry: TelemetryLike | None = None
 
     def __post_init__(self) -> None:
         if self.update_interval < 1:
@@ -70,6 +117,27 @@ class AngelConfig:
                 "lock-free mode implies update_interval >= 2 "
                 "(1 is synchronous training)"
             )
+        if self.prefetch_window < 1:
+            raise ConfigurationError("prefetch_window must be >= 1")
+
+    def to_dict(self) -> dict:
+        """Serializable knobs; collaborators and plans stay live-only."""
+        return {name: getattr(self, name) for name in _ANGEL_CONFIG_FIELDS}
+
+    @classmethod
+    def from_dict(cls, config: dict) -> "AngelConfig":
+        """Build a config from a parsed JSON object.
+
+        Shares the unknown-field guard with the cluster schema
+        (:func:`repro.hardware.config_io.reject_unknown_fields`); value
+        validation is ``__post_init__``'s, same as direct construction.
+        """
+        # Deferred import: hardware.config_io is a leaf, but keep the
+        # engine's import set minimal for non-serializing users.
+        from repro.hardware.config_io import reject_unknown_fields
+
+        reject_unknown_fields(config, _ANGEL_CONFIG_FIELDS, "engine")
+        return cls(**config)
 
 
 @dataclass
@@ -102,6 +170,13 @@ class AngelModel:
         self._clock = 0
         self._iteration = 0
         self._pending = 0
+        # _move_lock serializes page movement between the prefetch worker
+        # and the demand-fetch / sweep paths; _io_lock serializes
+        # state-tier I/O between the writeback worker and synchronous
+        # sweep reads (the file backend's seek+read/write pairs are not
+        # atomic). Created before _register_parameters, which does I/O.
+        self._move_lock = threading.RLock()
+        self._io_lock = threading.Lock()
         if config.telemetry is not None:
             self.telemetry = config.telemetry
         else:
@@ -166,6 +241,18 @@ class AngelModel:
         # Pending-iterations-behind gauge: the watchdog's staleness signal.
         self._lag_gauge = self.telemetry.gauge("updater.lag_iterations")
 
+        # Pipelined runtime, constructed lazily once the recording
+        # iteration completes (see _start_pipeline).
+        self._pipeline = None
+        self._writeback = None
+        self._live_plan: "IterationPlan | None" = config.plan
+        self._layer_modules: list[Module] = []
+        self._layer_managed: list[list[_Managed]] = []
+        self._layer_of_module: dict[int, int] = {}
+        self._cache_resident: set[int] = set()
+        self._stall_seconds = 0.0
+        self._demand_seconds = 0.0
+
     # ------------------------------------------------------------------
     # Registration and hooks
     # ------------------------------------------------------------------
@@ -190,11 +277,17 @@ class AngelModel:
             self._by_param[id(param)] = managed
 
     def _io(self, fn):
-        """Run a paged-state I/O op under the configured retry policy."""
+        """Run a paged-state I/O op under the configured retry policy.
+
+        The lock keeps the writeback worker's flushes and the sweep's
+        synchronous reads from interleaving inside the shared file
+        backend.
+        """
         policy = self.config.retry_policy
-        if policy is None:
-            return fn()
-        return policy.run(fn)
+        with self._io_lock:
+            if policy is None:
+                return fn()
+            return policy.run(fn)
 
     def _install_hooks(self) -> None:
         for module in self.module.modules():
@@ -202,18 +295,40 @@ class AngelModel:
                 module.add_forward_hook(self._on_module_forward)
 
     def _on_module_forward(self, module: Module) -> None:
-        """Fetch the module's parameter pages into the GPU pool."""
+        """Fetch (sync) or await (pipelined) the module's parameter pages."""
         self._record_access(module)
         needed = [self._by_param[id(p)] for p in module._parameters.values()]
-        for managed in needed:
-            if managed.fp16.device_kind == DeviceKind.GPU:
-                self.prefetch_hits += 1
-                self._hits_counter.inc()
-            else:
-                self.demand_fetches += 1
-                self._demand_counter.inc()
-            self._fetch(managed, pinned={m.index for m in needed})
-        self._prefetch_next(pinned={m.index for m in needed})
+        pinned = {m.index for m in needed}
+        if self._pipeline is not None:
+            self._await_module(module)
+        with self._move_lock:
+            for managed in needed:
+                if managed.fp16.device_kind == DeviceKind.GPU:
+                    self.prefetch_hits += 1
+                    self._hits_counter.inc()
+                else:
+                    self.demand_fetches += 1
+                    self._demand_counter.inc()
+                self._fetch(managed, pinned=pinned)
+        if self._pipeline is None:
+            self._prefetch_next(pinned=pinned)
+
+    def _await_module(self, module: Module) -> None:
+        """Release due schedule triggers and wait for this layer's fetch.
+
+        The first visit in an iteration is the layer's forward op; a
+        revisit (recompute during backward) lands at a later horizon, so
+        ``advance`` — which is monotonic — simply keeps the released
+        horizon at the furthest op seen.
+        """
+        layer = self._layer_of_module.get(id(module))
+        if layer is None:
+            return  # module appeared after recording; demand path covers it
+        self._pipeline.advance(layer)
+        stalled = self._pipeline.await_layer(layer, layer)
+        if stalled > 0.0:
+            self._stall_seconds += stalled
+            self.telemetry.record_stall("cpu->gpu", stalled)
 
     # ------------------------------------------------------------------
     # Tracer-informed prefetch
@@ -256,7 +371,9 @@ class AngelModel:
             managed.first_access = self._clock
         managed.last_access = self._clock
         if managed.fp16.device_kind != DeviceKind.GPU:
+            started = self.telemetry.clock.perf()
             self._move_with_eviction(managed, pinned)
+            self._demand_seconds += self.telemetry.clock.perf() - started
         # The compute path reads the buffered FP16 parameters.
         managed.param.data[...] = managed.fp16.read_array().astype(np.float32)
 
@@ -287,6 +404,139 @@ class AngelModel:
         return min(candidates, key=lambda m: m.last_access)
 
     # ------------------------------------------------------------------
+    # Pipelined runtime (schedule-driven, Section 4.3 live)
+    # ------------------------------------------------------------------
+    def _start_pipeline(self) -> None:
+        """Plan the recorded iteration and start the background workers.
+
+        Runs once, at the end of the first (recording) step. The plan is
+        either the one injected via ``config.plan`` or built from the
+        engine's own trace through the unified planning pipeline; both go
+        through the same :class:`IterationPlan` currency the simulator
+        and ``repro check --schedule`` consume.
+        """
+        # Deferred imports: liveplan pulls in the scheduler stack, which
+        # builds on this engine.
+        from repro.engine.liveplan import build_live_plan, live_layer_modules
+        from repro.runtime.pipeline import (
+            PrefetchWorker,
+            WritebackQueue,
+            coalesce_schedule,
+        )
+
+        modules = live_layer_modules(self)
+        plan = self.config.plan
+        if plan is None:
+            telemetry = self.telemetry if self.telemetry.enabled else None
+            plan = build_live_plan(self, telemetry=telemetry)
+        if plan.trace.num_layers != len(modules):
+            raise ConfigurationError(
+                f"injected plan covers {plan.trace.num_layers} layers but the "
+                f"engine recorded {len(modules)} parameterized modules"
+            )
+        self._live_plan = plan
+        self._layer_modules = modules
+        self._layer_of_module = {id(m): i for i, m in enumerate(modules)}
+        self._layer_managed = [
+            [self._by_param[id(p)] for p in m._parameters.values()]
+            for m in modules
+        ]
+        self._install_cache(plan)
+        if self.config.writeback:
+            self._writeback = WritebackQueue(self._io, telemetry=self.telemetry)
+            self._writeback.start()
+        worker = PrefetchWorker(
+            coalesce_schedule(plan.schedule),
+            self._pipeline_fetch,
+            self._pipeline_evict,
+            num_ops=plan.trace.num_ops,
+            window=self.config.prefetch_window,
+            telemetry=self.telemetry,
+        )
+        worker.start()
+        worker.begin_iteration()
+        self._pipeline = worker
+
+    def _install_cache(self, plan) -> int:
+        """Pin the planned dynamic GPU cache's FP32 states in the GPU pool.
+
+        Best-effort: the plan reasons about logical shard bytes, while the
+        engine gives every small tensor its own physical page, so the
+        physical footprint can exceed the planned one. Layers are
+        installed (coldest-planned first, matching the plan's reverse
+        admission) while the pool keeps a reserve large enough to stage
+        the two largest FP16 working sets — the demand path must never be
+        starved by the cache. Cached states are invisible to LRU eviction
+        (``_pick_victim`` only considers FP16 pages), so they stay
+        resident for the run.
+        """
+        cached = sorted(plan.cache.cached_layers)
+        if not cached:
+            return 0
+        gpu_pool = self.allocator.pools[DeviceKind.GPU]
+        page_bytes = self.config.page_bytes
+        reserve = 2 * page_bytes * max(
+            sum(len(m.fp16.page_list) for m in group)
+            for group in self._layer_managed
+        )
+        installed = 0
+        for layer in reversed(cached):
+            tensors = [
+                t
+                for m in self._layer_managed[layer]
+                for t in (m.master, m.moment1, m.moment2)
+            ]
+            pending = {
+                id(page)
+                for t in tensors
+                for page in t.page_list
+                if page.pool is not gpu_pool
+            }
+            if gpu_pool.free_bytes - len(pending) * page_bytes < reserve:
+                break
+            try:
+                with self._move_lock:
+                    self.allocator.move_many(tensors, DeviceKind.GPU)
+            except OutOfMemoryError:
+                break
+            self._cache_resident.add(layer)
+            installed += 1
+        self.telemetry.gauge("cache.live_layers").set(installed)
+        return installed
+
+    def _pipeline_fetch(self, layer: int) -> None:
+        """Worker callback: stage one layer's FP16 pages onto the GPU."""
+        with self._move_lock:
+            self.allocator.move_many(
+                [m.fp16 for m in self._layer_managed[layer]], DeviceKind.GPU
+            )
+
+    def _pipeline_evict(self, layer: int) -> None:
+        """Worker callback: return one layer's FP16 pages to the CPU."""
+        with self._move_lock:
+            self.allocator.move_many(
+                [m.fp16 for m in self._layer_managed[layer]], DeviceKind.CPU
+            )
+
+    def executed_plan(self) -> "IterationPlan | None":
+        """The plan the live pipeline executes (None before it starts)."""
+        return self._live_plan
+
+    def pipeline_report(self) -> dict:
+        """Overlap accounting for profile output and run reports."""
+        report = {
+            "enabled": self._pipeline is not None,
+            "stall_seconds": self._stall_seconds,
+            "demand_fetch_seconds": self._demand_seconds,
+            "cached_layers_live": len(self._cache_resident),
+        }
+        if self._pipeline is not None:
+            report["prefetch"] = self._pipeline.stats()
+        if self._writeback is not None:
+            report["writeback"] = self._writeback.stats()
+        return report
+
+    # ------------------------------------------------------------------
     # Figure 6 training API
     # ------------------------------------------------------------------
     def __call__(self, batch: Batch) -> Tensor:
@@ -304,6 +554,10 @@ class AngelModel:
             loss.backward()
             # Offload gradients to the CPU buffers (Algorithm 2, line 24).
             self._buffers.accumulate_all([m.param for m in self._managed])
+        if self._pipeline is not None:
+            # Backward is complete: every backward-phase trigger is due
+            # (op convention: backward of layer i is op 2L - 1 - i).
+            self._pipeline.advance(2 * len(self._layer_modules) - 1)
 
     def step(self) -> bool:
         """Run (or defer) the optimizer pass; returns True if it ran."""
@@ -316,15 +570,27 @@ class AngelModel:
             self._module_cursor = 0
         interval = self.config.update_interval if self.config.lock_free else 1
         self.telemetry.counter("engine.steps").inc()
-        if self._pending < interval:
-            self._lag_gauge.set(self._pending)
-            self.forensics.sample(self._iteration, self.memory_report())
-            return False
-        self._update_sweep()
-        self._pending = 0
-        self._lag_gauge.set(0)
+        if self._pipeline is not None:
+            # Everything up to the last update op is now due; surface any
+            # worker failure on the training thread (step boundary).
+            self._pipeline.advance(self._live_plan.trace.num_ops - 1)
+            self._pipeline.raise_if_failed()
+        if self._writeback is not None:
+            self._writeback.raise_if_failed()
+        ran = self._pending >= interval
+        if ran:
+            self._update_sweep()
+            self._pending = 0
+        self._lag_gauge.set(self._pending)
         self.forensics.sample(self._iteration, self.memory_report())
-        return True
+        if self.config.pipeline and self._pipeline is None and self._order_recorded:
+            self._start_pipeline()
+        elif self._pipeline is not None:
+            # Close out this iteration's schedule and re-arm it: the
+            # recorded pattern replays every iteration (Section 4.2).
+            self._pipeline.finish_iteration()
+            self._pipeline.begin_iteration()
+        return ran
 
     def _update_sweep(self) -> None:
         """One updating-thread pass: page in FP32 states, apply Adam,
@@ -341,23 +607,49 @@ class AngelModel:
 
     def _sweep_body(self) -> None:
         opt = self.optimizer
+        writeback = self._writeback
         opt.bump_step()
         for managed in reversed(self._managed):
             grad, count = self._buffers.drain(managed.index)
             if count == 0:
                 continue
             index = managed.index
+            if writeback is not None:
+                # Read-your-writes: any still-queued flush for this
+                # parameter must land before we read its states back.
+                writeback.wait(index)
             # Fetch p32, m32, v32 from their tier (real file I/O on SSD);
             # transient faults are retried, permanent tier death escalates.
             opt.master[index][...] = self._io(managed.master.read_array)
             opt.m[index][...] = self._io(managed.moment1.read_array)
             opt.v[index][...] = self._io(managed.moment2.read_array)
             refreshed = opt.apply_gradient(index, grad / count)
-            # Offload updated states and refresh the FP16 buffers.
-            self._io(lambda: managed.master.write_array(opt.master[index]))
-            self._io(lambda: managed.moment1.write_array(opt.m[index]))
-            self._io(lambda: managed.moment2.write_array(opt.v[index]))
-            managed.fp16.write_array(refreshed.astype(np.float16))
+            if writeback is not None and managed.master.device_kind != DeviceKind.GPU:
+                # Offload updated states off the critical path. The
+                # snapshots are copies: the optimizer's host arrays mutate
+                # on the next sweep while the flush may still be queued.
+                writeback.submit(
+                    index,
+                    lambda t=managed.master, a=opt.master[index].copy(): t.write_array(a),
+                )
+                writeback.submit(
+                    index,
+                    lambda t=managed.moment1, a=opt.m[index].copy(): t.write_array(a),
+                )
+                writeback.submit(
+                    index,
+                    lambda t=managed.moment2, a=opt.v[index].copy(): t.write_array(a),
+                )
+            else:
+                # Synchronous path: no pipeline, or the state pages are
+                # GPU-cache-resident and the write is a cheap pool write.
+                self._io(lambda: managed.master.write_array(opt.master[index]))
+                self._io(lambda: managed.moment1.write_array(opt.m[index]))
+                self._io(lambda: managed.moment2.write_array(opt.v[index]))
+            # The FP16 refresh stays synchronous: the very next forward
+            # reads it, and deferring it would reintroduce staleness.
+            with self._move_lock:
+                managed.fp16.write_array(refreshed.astype(np.float16))
             managed.param.data[...] = refreshed
 
     # ------------------------------------------------------------------
@@ -387,6 +679,20 @@ class AngelModel:
             raise ConfigurationError(
                 f"FP32 states live on {self._state_tier.name}, not {dead.name}"
             )
+        if self._writeback is not None:
+            # Flushes targeting the dead tier can never land (and the
+            # worker may already have died on one); drop the queue and
+            # restart it with a clean error state for the survivor tier.
+            from repro.runtime.pipeline import WritebackQueue
+
+            self._writeback.abort()
+            self._writeback.close()
+            self._writeback = WritebackQueue(self._io, telemetry=self.telemetry)
+            self._writeback.start()
+        with self._move_lock:
+            return self._degrade_locked(dead, survivor)
+
+    def _degrade_locked(self, dead: DeviceKind, survivor: DeviceKind) -> int:
         opt = self.optimizer
         rebuilt = 0
         for managed in self._managed:
@@ -433,7 +739,18 @@ class AngelModel:
         return self.allocator.residency_report()
 
     def close(self) -> None:
-        self.allocator.close()
+        try:
+            if self._pipeline is not None:
+                self._pipeline.stop()
+                self._pipeline = None
+            if self._writeback is not None:
+                writeback, self._writeback = self._writeback, None
+                try:
+                    writeback.barrier()
+                finally:
+                    writeback.close()
+        finally:
+            self.allocator.close()
 
     def __enter__(self) -> "AngelModel":
         return self

@@ -32,18 +32,30 @@ _SERVER_FIELDS = {
 }
 
 
+def reject_unknown_fields(mapping: dict, known, what: str) -> None:
+    """Shared schema guard: fail loudly on fields no consumer reads.
+
+    Used by every from-dict construction path (cluster specs here,
+    ``AngelConfig.from_dict`` in the engine) so a typoed field is an
+    error everywhere instead of a silently ignored knob.
+    """
+    if not isinstance(mapping, dict):
+        raise ConfigurationError(f"{what} config must be a JSON object")
+    unknown = set(mapping) - set(known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {what} fields: {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+
+
 def cluster_from_dict(config: dict) -> ClusterSpec:
     """Build a cluster from a parsed JSON object."""
     if not isinstance(config, dict):
         raise ConfigurationError("cluster config must be a JSON object")
     num_servers = config.get("num_servers", 1)
     server_config = config.get("server", {})
-    unknown = set(server_config) - set(_SERVER_FIELDS)
-    if unknown:
-        raise ConfigurationError(
-            f"unknown server fields: {sorted(unknown)}; "
-            f"known: {sorted(_SERVER_FIELDS)}"
-        )
+    reject_unknown_fields(server_config, _SERVER_FIELDS, "server")
     kwargs = {}
     for field, value in server_config.items():
         name, unit = _SERVER_FIELDS[field]

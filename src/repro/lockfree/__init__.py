@@ -17,7 +17,14 @@ Two implementations are provided:
 """
 
 from repro.lockfree.buffers import GradientBuffers
+from repro.lockfree.queues import WorkQueue
 from repro.lockfree.staleness import StalenessLoop, TrainLog
 from repro.lockfree.threaded import LockFreeTrainer
 
-__all__ = ["GradientBuffers", "StalenessLoop", "TrainLog", "LockFreeTrainer"]
+__all__ = [
+    "GradientBuffers",
+    "StalenessLoop",
+    "TrainLog",
+    "LockFreeTrainer",
+    "WorkQueue",
+]

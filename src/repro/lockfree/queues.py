@@ -1,0 +1,137 @@
+"""Bounded, closeable work queues for the pipelined runtime.
+
+The prefetch worker and the SSD writeback queue (see
+:mod:`repro.runtime.pipeline`) both need the same primitive: a FIFO that
+a producer thread fills and one consumer thread drains, with
+
+- a **bound** so a slow consumer applies backpressure instead of letting
+  unbounded FP32-state copies pile up in host memory;
+- **keyed completion tracking** so the producer can wait for *one*
+  item's effects (read-your-writes on a single parameter's states)
+  without draining the whole queue;
+- **close/abort** semantics that never strand a waiter: closing wakes
+  every blocked ``get``; aborting drops queued work and releases every
+  ``wait_key`` immediately (used when a tier dies and the queued writes
+  can no longer succeed).
+
+All state transitions happen under one condition variable, so the class
+passes the repo's own concurrency lint (``repro check --self``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import ConfigurationError
+
+
+class WorkQueue:
+    """Bounded FIFO with per-key pending counts.
+
+    An item is *pending* from ``put`` until the consumer calls
+    ``task_done`` for it — so ``wait_key``/``wait_idle`` cover work that
+    has been dequeued but is still executing, not just queued items.
+    """
+
+    def __init__(self, maxsize: int = 0):
+        if maxsize < 0:
+            raise ConfigurationError("maxsize must be >= 0 (0 = unbounded)")
+        self._maxsize = maxsize
+        self._cond = threading.Condition()
+        self._items: deque = deque()
+        self._pending: dict = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def put(self, key, item) -> None:
+        """Enqueue ``item`` under ``key``; blocks while the queue is full."""
+        with self._cond:
+            while (
+                self._maxsize
+                and len(self._items) >= self._maxsize
+                and not self._closed
+            ):
+                self._cond.wait()
+            if self._closed:
+                raise ConfigurationError("queue is closed")
+            self._items.append((key, item))
+            self._pending[key] = self._pending.get(key, 0) + 1
+            self._cond.notify_all()
+
+    def wait_key(self, key) -> None:
+        """Block until no queued or in-flight item carries ``key``."""
+        with self._cond:
+            while self._pending.get(key, 0) > 0:
+                self._cond.wait()
+
+    def wait_idle(self) -> None:
+        """Block until every item ever queued has been ``task_done``-ed."""
+        with self._cond:
+            while self._pending:
+                self._cond.wait()
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def get(self):
+        """Dequeue ``(key, item)``; ``None`` once closed and drained."""
+        with self._cond:
+            while not self._items and not self._closed:
+                self._cond.wait()
+            if not self._items:
+                return None
+            entry = self._items.popleft()
+            self._cond.notify_all()
+            return entry
+
+    def task_done(self, key) -> None:
+        """Mark one dequeued item of ``key`` complete (or failed)."""
+        with self._cond:
+            left = self._pending.get(key, 0) - 1
+            if left < 0:
+                raise ConfigurationError(f"task_done without a put for {key!r}")
+            if left:
+                self._pending[key] = left
+            else:
+                self._pending.pop(key, None)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting work; blocked getters drain then receive None."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def abort(self) -> list:
+        """Drop queued (not yet dequeued) items; returns what was dropped.
+
+        In-flight pending counts stay until their ``task_done`` — callers
+        that must also outlast the in-flight item follow up with
+        ``wait_idle``.
+        """
+        with self._cond:
+            dropped = list(self._items)
+            self._items.clear()
+            for key, _ in dropped:
+                left = self._pending.get(key, 0) - 1
+                if left > 0:
+                    self._pending[key] = left
+                else:
+                    self._pending.pop(key, None)
+            self._cond.notify_all()
+            return dropped
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)

@@ -202,6 +202,50 @@ class PageAllocator:
                         src.name.lower(), device.name.lower(), page.total_bytes
                     )
 
+    def move_many(self, tensors, device: DeviceKind) -> int:
+        """Coalesced move: batch several tensors' pages onto ``device``.
+
+        Small page moves along the same (src, dst) edge are folded into
+        one transfer burst — one span, one telemetry batch record —
+        instead of a span-per-tensor (the pipelined runtime's PCIe-burst
+        coalescing). Pages already on ``device`` are skipped, and a page
+        shared by two tensors (tail sharing, §4.1) moves once. Returns
+        the number of bytes actually transferred.
+        """
+        target = self.pool(device)
+        pending = []
+        seen: set[int] = set()
+        for tensor in tensors:
+            tensor._check_live()
+            for page in tensor.page_list:
+                if page.pool is target or id(page) in seen:
+                    continue
+                seen.add(id(page))
+                pending.append(page)
+        if not pending:
+            return 0
+        telemetry = self.telemetry
+        moved = 0
+        with telemetry.span(
+            f"movebatch.to_{device.name.lower()}", track="pcie",
+            pages=len(pending),
+        ):
+            for page in pending:
+                self._forget_shared(page)
+                src = page.pool.device_kind
+                if self.retry_policy is not None:
+                    self.retry_policy.run(lambda p=page: p.move(target))
+                else:
+                    page.move(target)
+                telemetry.record_page_move(
+                    src.name.lower(), device.name.lower(), page.total_bytes
+                )
+                moved += page.total_bytes
+        if telemetry.enabled:
+            telemetry.counter("pipeline.move_batches").inc()
+            telemetry.counter("pipeline.coalesced_pages").inc(len(pending))
+        return moved
+
     def drop_pool(self, device: DeviceKind) -> None:
         """Remove a (dead) tier's pool; no live tensor may still use it.
 

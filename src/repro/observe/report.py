@@ -216,6 +216,45 @@ def _anomaly_section(bench: dict) -> list[str]:
     return lines + [""]
 
 
+def _pipeline_section(bench: dict) -> list[str]:
+    compare = bench.get("pipeline_compare")
+    if not compare:
+        return []
+    pipelined = compare.get("pipelined", {})
+    sync = compare.get("sync", {})
+    prefetch = pipelined.get("prefetch") or {}
+    writeback = pipelined.get("writeback") or {}
+    lines = [
+        "## Pipeline overlap",
+        "",
+        f"SSD-tier workload ({compare.get('steps', '?')} steps, "
+        f"{compare.get('ssd_latency_seconds', 0) * 1e3:.2f} ms emulated "
+        f"per-I/O latency), synchronous vs schedule-driven pipeline:",
+        "",
+        "| runtime | elapsed | throughput |",
+        "|---|---|---|",
+        f"| synchronous | {sync.get('elapsed_seconds', 0.0):.3f} s "
+        f"| {sync.get('steps_per_second', 0.0):.2f} steps/s |",
+        f"| pipelined | {pipelined.get('elapsed_seconds', 0.0):.3f} s "
+        f"| {pipelined.get('steps_per_second', 0.0):.2f} steps/s |",
+        "",
+        f"**Speedup: {compare.get('speedup', 0.0):.2f}x**, numerics "
+        f"bit-identical: {compare.get('bit_identical_losses')}.",
+        "",
+        f"- awaited prefetch for "
+        f"{pipelined.get('stall_seconds', 0.0) * 1e3:.1f} ms; demand "
+        f"fetches took {pipelined.get('demand_fetch_seconds', 0.0) * 1e3:.1f} ms",
+        f"- {prefetch.get('prefetched_groups', 0)} move groups staged in "
+        f"the background ({prefetch.get('prefetched_bytes', 0) / MiB:.1f} MiB), "
+        f"{prefetch.get('abandoned', 0)} abandoned to the demand path",
+        f"- {pipelined.get('cached_layers_live', 0)} layers' FP32 states "
+        f"GPU-cache-resident; {writeback.get('flushed', 0)} state flushes "
+        f"ran asynchronously",
+        "",
+    ]
+    return lines
+
+
 def _span_section(bench: dict, top: int = 10) -> list[str]:
     spans = bench.get("telemetry", {}).get("spans", {})
     lines = ["## Span breakdown", ""]
@@ -264,6 +303,7 @@ def render_markdown(
     lines += _summary_section(bench)
     lines += _waterfall_section(bench)
     lines += _traffic_section(bench)
+    lines += _pipeline_section(bench)
     lines += _verification_section(bench)
     lines += _anomaly_section(bench)
     lines += _span_section(bench)

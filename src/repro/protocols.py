@@ -1,0 +1,74 @@
+"""Structural types for the engine's pluggable collaborators.
+
+:class:`~repro.engine.angel.AngelConfig` historically typed its optional
+collaborators as ``object | None`` to avoid importing the resilience and
+telemetry packages from the engine (they build *on* it). These
+``typing.Protocol`` definitions keep the layering — no imports, purely
+structural — while documenting and type-checking exactly the surface the
+engine relies on. Any object with the right methods satisfies them;
+:class:`~repro.resilience.faults.FaultPlan`,
+:class:`~repro.resilience.retry.RetryPolicy` and
+:class:`~repro.telemetry.core.Telemetry` are the in-repo implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class FaultPlanLike(Protocol):
+    """Injects faults into a tier's physical backend (chaos testing).
+
+    The engine hands the plan to
+    :func:`repro.resilience.faults.inject_faults`, which wraps the SSD
+    pool's backend; ``on_io`` is consulted before every read/write and
+    may raise, sleep, or corrupt (torn writes return ``"torn"``).
+    """
+
+    def on_io(self, tier: str, op: str, nbytes: int) -> str | None: ...
+
+    def tier_dead(self, tier: str) -> bool: ...
+
+
+@runtime_checkable
+class RetryPolicyLike(Protocol):
+    """Absorbs transient tier-I/O errors on page moves and state flushes.
+
+    ``run`` executes ``fn``, retrying
+    :class:`~repro.errors.TransientIOError` with backoff until a deadline
+    and re-raising anything permanent.
+    """
+
+    def run(self, fn: Any) -> Any: ...
+
+
+@runtime_checkable
+class TelemetryLike(Protocol):
+    """The observability facade the engine emits into.
+
+    Structural mirror of :class:`repro.telemetry.core.Telemetry`: spans
+    for forward/backward/update sweeps, get-or-create instruments, and
+    the domain vocabulary for page traffic and pipeline stalls. A
+    disabled instance must keep every operation a cheap no-op.
+    """
+
+    enabled: bool
+    clock: Any
+
+    def span(self, name: str, track: str | None = None, **args: Any) -> Any: ...
+
+    def counter(self, name: str, **labels: Any) -> Any: ...
+
+    def gauge(self, name: str, **labels: Any) -> Any: ...
+
+    def histogram(self, name: str, **labels: Any) -> Any: ...
+
+    def record_page_move(self, src: str, dst: str, nbytes: int) -> None: ...
+
+    def record_prefetch(self, outcome: str) -> None: ...
+
+    def record_stall(self, edge: str, seconds: float) -> None: ...
+
+
+__all__ = ["FaultPlanLike", "RetryPolicyLike", "TelemetryLike"]

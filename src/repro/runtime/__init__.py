@@ -8,9 +8,28 @@ and the **Communicator** runs collectives from its queue. This package
 executes an Algorithm-1 schedule against the *functional* memory pools,
 so the plan's feasibility claims (no OOM, every page present before its
 gather) are validated with real page movements rather than arithmetic.
+
+``pipeline`` is the live counterpart: the background prefetch worker and
+async writeback queue that drive the same schedule inside the training
+engine, overlapping page movement with compute.
 """
 
 from repro.runtime.events import Event, EventBus
 from repro.runtime.executor import ScheduleExecutor, ExecutionReport
+from repro.runtime.pipeline import (
+    MoveGroup,
+    PrefetchWorker,
+    WritebackQueue,
+    coalesce_schedule,
+)
 
-__all__ = ["Event", "EventBus", "ScheduleExecutor", "ExecutionReport"]
+__all__ = [
+    "Event",
+    "EventBus",
+    "ScheduleExecutor",
+    "ExecutionReport",
+    "MoveGroup",
+    "PrefetchWorker",
+    "WritebackQueue",
+    "coalesce_schedule",
+]

@@ -14,9 +14,11 @@ from repro.scheduler.pages import LayerPages, build_layer_pages
 from repro.scheduler.memory_model import MemoryModel
 from repro.scheduler.lifetime import LifetimeScheduler
 from repro.scheduler.cache import CachePlan, plan_gpu_cache
-from repro.scheduler.unified import IterationResult, UnifiedScheduler
+from repro.scheduler.unified import IterationPlan, IterationResult, UnifiedScheduler, plan_iteration
 
 __all__ = [
+    "IterationPlan",
+    "plan_iteration",
     "Operation",
     "ScheduledTask",
     "Schedule",

@@ -44,6 +44,47 @@ class IterationPlan:
     micro_batch: int
 
 
+def plan_iteration(
+    trace: IterationTrace,
+    gpu_budget_bytes: int,
+    num_ranks: int = 1,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    micro_batch: int = 1,
+    use_recompute: bool = True,
+    telemetry=None,
+) -> IterationPlan:
+    """Run the planning pipeline on an already-obtained trace.
+
+    This is THE planning path: :meth:`UnifiedScheduler.plan` feeds it the
+    analytic Tracer's trace, and the live functional engine feeds it the
+    trace recorded from its own first iteration (see
+    :mod:`repro.engine.liveplan`) — so one :class:`IterationPlan` object
+    flows sim → live engine → verifier without re-planning.
+    """
+    layer_pages = build_layer_pages(trace, num_ranks, page_bytes)
+    cache = plan_gpu_cache(
+        trace, layer_pages, gpu_budget_bytes, num_ranks,
+        use_recompute=use_recompute,
+        telemetry=telemetry if telemetry is not None and telemetry.enabled else None,
+    )
+    memory = MemoryModel(
+        trace,
+        gpu_budget_bytes,
+        num_ranks=num_ranks,
+        cache_bytes=cache.cache_bytes,
+        use_recompute=use_recompute,
+    )
+    schedule = LifetimeScheduler(trace, layer_pages, memory).schedule()
+    return IterationPlan(
+        trace=trace,
+        schedule=schedule,
+        cache=cache,
+        layer_pages=layer_pages,
+        num_ranks=num_ranks,
+        micro_batch=micro_batch,
+    )
+
+
 @dataclass(frozen=True)
 class IterationResult:
     """Outcome of simulating one iteration on one rank."""
@@ -125,31 +166,17 @@ class UnifiedScheduler:
     def plan(self, config: ModelConfig, micro_batch: int, seq_len: int = 2048) -> IterationPlan:
         """Trace the model, size the GPU cache and run Algorithm 1."""
         with self.telemetry.span(f"plan/{config.name}", track="scheduler"):
-            num_ranks = self.cluster.num_gpus
             model = config.build(batch_size=micro_batch, seq_len=seq_len)
             tracer = Tracer(self.cost, use_recompute=self.use_recompute)
             trace = tracer.trace(model)
-            layer_pages = build_layer_pages(trace, num_ranks, self.page_bytes)
-            cache = plan_gpu_cache(
-                trace, layer_pages, self.gpu_budget, num_ranks,
-                use_recompute=self.use_recompute,
-                telemetry=self.telemetry if self.telemetry.enabled else None,
-            )
-            memory = MemoryModel(
+            return plan_iteration(
                 trace,
                 self.gpu_budget,
-                num_ranks=num_ranks,
-                cache_bytes=cache.cache_bytes,
-                use_recompute=self.use_recompute,
-            )
-            schedule = LifetimeScheduler(trace, layer_pages, memory).schedule()
-            return IterationPlan(
-                trace=trace,
-                schedule=schedule,
-                cache=cache,
-                layer_pages=layer_pages,
-                num_ranks=num_ranks,
+                num_ranks=self.cluster.num_gpus,
+                page_bytes=self.page_bytes,
                 micro_batch=micro_batch,
+                use_recompute=self.use_recompute,
+                telemetry=self.telemetry,
             )
 
     def validate(self, plan: IterationPlan):

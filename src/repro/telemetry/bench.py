@@ -35,18 +35,32 @@ class ProfileConfig:
     ssd_bytes: int = 32 * MiB
     page_bytes: int = 64 * KiB
     lock_free: bool = False
+    #: Drive the main profiled run through the pipelined runtime.
+    pipeline: bool = False
     #: Analytic-simulator side: model-zoo name, servers and micro-batch.
     sim_model: str = "gpt3-13b"
     sim_servers: int = 1
     sim_batch: int = 4
     #: Also run telemetry-off to measure instrumentation overhead.
     measure_overhead: bool = True
+    #: Also time the SSD-tier workload pipeline-off vs pipeline-on (same
+    #: seed, emulated SSD latency on both) and record the speedup.
+    compare_pipeline: bool = True
+    #: Emulated per-I/O SSD latency for the comparison runs, injected
+    #: through a FaultPlan so both runs pay identical tier costs.
+    ssd_latency_seconds: float = 0.0005
+    #: GPU pool for the comparison runs. Roomier than the main profile's
+    #: deliberately-tight pool — the planned dynamic GPU cache needs
+    #: headroom to install — but sized so the cache stays *partial* and
+    #: the async writeback queue carries the uncached layers (both
+    #: mechanisms contribute; both runs get the same budget).
+    compare_gpu_memory_bytes: int = 5 * MiB
     #: Run the repro.observe watchdog at each step boundary; fired alerts
     #: and the residency timeline land in the BENCH payload.
     watch: bool = True
 
 
-def _build_engine(config: ProfileConfig, telemetry):
+def _build_engine(config: ProfileConfig, telemetry, pipeline=None, fault_plan=None):
     from repro.engine.angel import AngelConfig, initialize
     from repro.nn import MixedPrecisionAdam, TinyTransformerLM
 
@@ -62,19 +76,22 @@ def _build_engine(config: ProfileConfig, telemetry):
         page_bytes=config.page_bytes,
         lock_free=config.lock_free,
         update_interval=4 if config.lock_free else 1,
+        pipeline=config.pipeline if pipeline is None else pipeline,
+        fault_plan=fault_plan,
         telemetry=telemetry,
     )
     return initialize(model, optimizer, angel)
 
 
 def _train_once(
-    config: ProfileConfig, telemetry, watchdog=None
-) -> tuple[float, list[float], list[dict]]:
-    """One training run; returns (elapsed_seconds, losses, memory_timeline)."""
+    config: ProfileConfig, telemetry, watchdog=None, pipeline=None, fault_plan=None
+) -> tuple[float, list[float], list[dict], dict]:
+    """One training run; returns (elapsed, losses, memory_timeline,
+    pipeline_report)."""
     from repro.nn import lm_synthetic_batches
 
     clock = telemetry.clock
-    engine = _build_engine(config, telemetry)
+    engine = _build_engine(config, telemetry, pipeline=pipeline, fault_plan=fault_plan)
     losses = []
     try:
         started = clock.perf()
@@ -90,9 +107,67 @@ def _train_once(
                 watchdog.observe_engine(engine, step=step + 1)
         elapsed = clock.perf() - started
         timeline = engine.forensics.timeline_payload()
+        pipeline_report = engine.pipeline_report()
     finally:
         engine.close()
-    return elapsed, losses, timeline
+    return elapsed, losses, timeline, pipeline_report
+
+
+def _compare_pipeline(config: ProfileConfig) -> dict:
+    """SSD-tier workload, pipeline off vs on; same seed, same tier costs.
+
+    Both runs pay an emulated per-I/O SSD latency (injected through a
+    FaultPlan with ``latency_rate=1``), the realistic regime the async
+    writeback targets; telemetry is disabled on both so the comparison
+    times the runtime, not the instrumentation. Reports wall-clock
+    throughputs, the speedup, overlap accounting from the pipelined run,
+    and whether the two loss curves were bit-identical.
+    """
+    from dataclasses import replace
+
+    from repro.resilience.faults import FaultPlan
+    from repro.telemetry.core import Telemetry
+
+    config = replace(config, gpu_memory_bytes=config.compare_gpu_memory_bytes)
+
+    def plan():
+        return FaultPlan(
+            seed=config.seed,
+            latency_rate=1.0,
+            latency_seconds=config.ssd_latency_seconds,
+        )
+
+    sync_elapsed, sync_losses, _, sync_report = _train_once(
+        config, Telemetry(enabled=False), pipeline=False, fault_plan=plan()
+    )
+    pipe_elapsed, pipe_losses, _, overlap = _train_once(
+        config, Telemetry(enabled=False), pipeline=True, fault_plan=plan()
+    )
+    return {
+        "workload": "ssd_tier",
+        "steps": config.steps,
+        "ssd_latency_seconds": config.ssd_latency_seconds,
+        "sync": {
+            "elapsed_seconds": sync_elapsed,
+            "steps_per_second": (
+                config.steps / sync_elapsed if sync_elapsed > 0 else float("inf")
+            ),
+            "demand_fetch_seconds": sync_report.get("demand_fetch_seconds", 0.0),
+        },
+        "pipelined": {
+            "elapsed_seconds": pipe_elapsed,
+            "steps_per_second": (
+                config.steps / pipe_elapsed if pipe_elapsed > 0 else float("inf")
+            ),
+            "stall_seconds": overlap.get("stall_seconds", 0.0),
+            "demand_fetch_seconds": overlap.get("demand_fetch_seconds", 0.0),
+            "cached_layers_live": overlap.get("cached_layers_live", 0),
+            "prefetch": overlap.get("prefetch"),
+            "writeback": overlap.get("writeback"),
+        },
+        "speedup": sync_elapsed / pipe_elapsed if pipe_elapsed > 0 else float("inf"),
+        "bit_identical_losses": sync_losses == pipe_losses,
+    }
 
 
 def _simulate_once(config: ProfileConfig, telemetry) -> tuple[dict, dict]:
@@ -149,12 +224,18 @@ def run_profile(
             ),
         )
 
-    elapsed, losses, memory_timeline = _train_once(config, telemetry, watchdog)
+    elapsed, losses, memory_timeline, pipeline_report = _train_once(
+        config, telemetry, watchdog
+    )
     simulated, verification = _simulate_once(config, telemetry)
+
+    pipeline_compare = None
+    if config.compare_pipeline:
+        pipeline_compare = _compare_pipeline(config)
 
     overhead = None
     if config.measure_overhead:
-        baseline_elapsed, _, _ = _train_once(config, Telemetry(enabled=False))
+        baseline_elapsed, _, _, _ = _train_once(config, Telemetry(enabled=False))
         overhead = {
             "instrumented_seconds": elapsed,
             "disabled_seconds": baseline_elapsed,
@@ -184,6 +265,8 @@ def run_profile(
         "simulated": simulated,
         "verification": verification,
         "per_tier_edge_bytes": page_edges,
+        "pipeline": pipeline_report,
+        "pipeline_compare": pipeline_compare,
         "overhead": overhead,
         "memory_timeline": memory_timeline,
         "alerts": watchdog.payload() if watchdog is not None else [],

@@ -84,6 +84,21 @@ class Telemetry:
             return
         self.registry.counter(f"collective.{kind}_bytes").inc(nbytes)
 
+    def record_prefetch(self, outcome: str) -> None:
+        """One prefetch group finishing: completed / abandoned / deferred."""
+        if not self.enabled:
+            return
+        self.registry.counter("pipeline.prefetch", outcome=outcome).inc()
+
+    def record_stall(self, edge: str, seconds: float) -> None:
+        """Compute blocked waiting for the pipeline on one tier edge."""
+        if not self.enabled or seconds <= 0:
+            return
+        self.registry.counter("pipeline.stalls", edge=edge).inc()
+        self.registry.histogram("pipeline.stall_seconds", edge=edge).observe(
+            seconds
+        )
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------

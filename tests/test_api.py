@@ -1,0 +1,142 @@
+"""The unified ``repro.api`` facade and the legacy-import shims.
+
+``repro.api`` is the supported address for the whole toolkit; the old
+top-level names (``repro.AngelConfig`` etc.) must keep working but warn.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import api
+from repro.units import KiB, MiB
+
+
+def tiny_engine(**config_kwargs):
+    from repro.nn import MixedPrecisionAdam, TinyTransformerLM
+
+    model = TinyTransformerLM(
+        vocab_size=16, d_model=16, d_ffn=32, num_heads=2, num_layers=2,
+        max_seq=8, seed=1,
+    )
+    opt = MixedPrecisionAdam(model.parameters(), lr=2e-3)
+    config = api.AngelConfig(
+        gpu_memory_bytes=2 * MiB, cpu_memory_bytes=16 * MiB,
+        page_bytes=32 * KiB, **config_kwargs,
+    )
+    return api.initialize(model, opt, config)
+
+
+class TestFacade:
+    def test_initialize_trains(self):
+        from repro.nn import lm_synthetic_batches
+
+        with tiny_engine() as engine:
+            batch = next(iter(lm_synthetic_batches(16, 8, 4, 1, seed=2)))
+            loss = engine(batch)
+            engine.backward(loss)
+            engine.step()
+            assert np.isfinite(loss.item())
+
+    def test_check_accepts_live_plan(self):
+        from repro.nn import lm_synthetic_batches
+
+        with tiny_engine(pipeline=True) as engine:
+            for batch in lm_synthetic_batches(16, 8, 4, 2, seed=2):
+                loss = engine(batch)
+                engine.backward(loss)
+                engine.step()
+            plan = engine.executed_plan()
+            budget = engine.config.gpu_memory_bytes
+        assert plan is not None
+        result = api.check(plan, gpu_budget_bytes=budget)
+        assert result.ok, result.violations
+
+    def test_check_accepts_simulated_plan(self):
+        from repro.hardware.cluster import a100_cluster
+        from repro.models import get_model
+        from repro.scheduler.unified import UnifiedScheduler
+
+        scheduler = UnifiedScheduler(a100_cluster(1))
+        plan = scheduler.plan(get_model("gpt3-13b"), micro_batch=4)
+        result = api.check(plan, gpu_budget_bytes=scheduler.gpu_budget)
+        assert result.ok, result.violations
+
+    def test_profile_returns_payload_and_telemetry(self):
+        from repro.telemetry.bench import ProfileConfig
+
+        config = ProfileConfig(
+            steps=2, measure_overhead=False, compare_pipeline=False,
+            watch=False,
+        )
+        payload, telemetry = api.profile(config)
+        assert payload["benchmark"] == "telemetry_profile"
+        assert payload["train"]["steps"] == 2
+        assert telemetry.tracer.records
+
+    def test_profile_overrides_replace_fields(self):
+        from repro.telemetry.bench import ProfileConfig
+
+        config = ProfileConfig(measure_overhead=False)
+        payload, _ = api.profile(
+            config, steps=1, compare_pipeline=False, watch=False,
+        )
+        assert payload["train"]["steps"] == 1
+
+    def test_chaos_runs_reference_scenario(self, tmp_path):
+        from repro.resilience import ChaosConfig
+
+        config = ChaosConfig(steps=4, checkpoint_every=2, world_size=1)
+        result = api.chaos(config, workdir=str(tmp_path))
+        assert result.steps_completed == 4
+        assert not result.degraded
+
+    def test_report_renders_from_dict(self, tmp_path):
+        from repro.telemetry.bench import ProfileConfig
+
+        config = ProfileConfig(
+            steps=1, measure_overhead=False, compare_pipeline=False,
+            watch=False,
+        )
+        payload, _ = api.profile(config)
+        written = api.report(payload, tmp_path / "run_report.md")
+        assert any(str(p).endswith(".md") for p in written)
+        text = (tmp_path / "run_report.md").read_text()
+        assert "# " in text
+
+    def test_all_names_exist(self):
+        for name in api.__all__:
+            assert hasattr(api, name), name
+
+
+class TestLegacyShims:
+    def test_old_imports_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            config_cls = repro.AngelConfig
+        assert config_cls is api.AngelConfig
+        with pytest.warns(DeprecationWarning):
+            assert repro.AngelModel is api.AngelModel
+        with pytest.warns(DeprecationWarning):
+            assert repro.initialize is api.initialize
+
+    def test_from_import_still_works(self):
+        with pytest.warns(DeprecationWarning):
+            from repro import AngelConfig
+        assert AngelConfig is api.AngelConfig
+
+    def test_supported_names_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert repro.api is api
+            assert repro.errors is not None
+            assert repro.units.MiB == MiB
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.does_not_exist
+
+    def test_dir_lists_deprecated_names(self):
+        names = dir(repro)
+        assert "AngelConfig" in names and "api" in names

@@ -1,0 +1,422 @@
+"""Pipelined runtime: prefetch worker, writeback queue, live planning.
+
+The load-bearing property is *prefetch determinism*: driving the engine
+from a planned schedule with background workers must be bit-identical to
+the synchronous demand-fetch path — page movement is byte-preserving, so
+reordering it can change timing but never numerics, including when an
+injected fault plan makes the SSD tier misbehave under retries.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import AngelConfig, initialize
+from repro.errors import ConfigurationError, SchedulingError
+from repro.hardware.device import DeviceKind
+from repro.lockfree import WorkQueue
+from repro.nn import MixedPrecisionAdam, TinyTransformerLM, lm_synthetic_batches
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.runtime import MoveGroup, PrefetchWorker, WritebackQueue, coalesce_schedule
+from repro.units import KiB, MiB
+
+
+def tiny_model(seed=1, num_layers=2):
+    return TinyTransformerLM(
+        vocab_size=16, d_model=16, d_ffn=32, num_heads=2, num_layers=num_layers,
+        max_seq=8, seed=seed,
+    )
+
+
+def train(steps=5, seed=3, **config_kwargs):
+    """Train the tiny workload; returns (losses, params, engine facts)."""
+    model = tiny_model(seed=seed)
+    opt = MixedPrecisionAdam(model.parameters(), lr=2e-3)
+    defaults = dict(
+        gpu_memory_bytes=2 * MiB,
+        cpu_memory_bytes=16 * MiB,
+        page_bytes=32 * KiB,
+    )
+    defaults.update(config_kwargs)
+    engine = initialize(model, opt, AngelConfig(**defaults))
+    losses = []
+    try:
+        for batch in lm_synthetic_batches(16, 8, 4, steps, seed=seed + 1):
+            loss = engine(batch)
+            engine.backward(loss)
+            engine.step()
+            losses.append(loss.item())
+        params = {m.name: m.param.data.copy() for m in engine._managed}
+        facts = {
+            "plan": engine.executed_plan(),
+            "report": engine.pipeline_report(),
+            "gpu_budget": engine.config.gpu_memory_bytes,
+        }
+    finally:
+        engine.close()
+    return losses, params, facts
+
+
+class TestPrefetchDeterminism:
+    def test_pipelined_bit_identical_to_sync(self):
+        sync_losses, sync_params, _ = train(pipeline=False)
+        pipe_losses, pipe_params, facts = train(pipeline=True)
+        assert sync_losses == pipe_losses
+        for name, array in sync_params.items():
+            assert np.array_equal(array, pipe_params[name]), name
+        assert facts["report"]["enabled"]
+
+    def test_bit_identical_on_ssd_tier(self, tmp_path):
+        common = dict(
+            ssd_bytes=16 * MiB, ssd_path=str(tmp_path / "sync.bin"),
+        )
+        sync_losses, sync_params, _ = train(pipeline=False, **common)
+        common["ssd_path"] = str(tmp_path / "pipe.bin")
+        pipe_losses, pipe_params, facts = train(pipeline=True, **common)
+        assert sync_losses == pipe_losses
+        for name, array in sync_params.items():
+            assert np.array_equal(array, pipe_params[name]), name
+        # The async writeback actually carried state flushes.
+        assert facts["report"]["writeback"]["flushed"] > 0
+
+    def test_bit_identical_under_injected_faults(self, tmp_path):
+        """Transient SSD faults healed by retries are numerics-neutral.
+
+        The two runs hit fault sites at different I/Os (the pipelined run
+        reorders them), but every transient is retried to success, so the
+        bytes that land are identical either way.
+        """
+        def faulty(tag):
+            return dict(
+                ssd_bytes=16 * MiB,
+                ssd_path=str(tmp_path / f"{tag}.bin"),
+                fault_plan=FaultPlan(
+                    seed=11, transient_read_rate=0.02,
+                    transient_write_rate=0.02, max_transients=12,
+                ),
+                retry_policy=RetryPolicy(
+                    max_attempts=8, base_delay=0.001, deadline=5.0,
+                ),
+            )
+
+        sync_losses, sync_params, _ = train(pipeline=False, **faulty("sync"))
+        pipe_losses, pipe_params, _ = train(pipeline=True, **faulty("pipe"))
+        assert sync_losses == pipe_losses
+        for name, array in sync_params.items():
+            assert np.array_equal(array, pipe_params[name]), name
+
+    def test_lock_free_pipelined_matches_lock_free_sync(self):
+        kwargs = dict(lock_free=True, update_interval=2, steps=6)
+        sync_losses, sync_params, _ = train(pipeline=False, **kwargs)
+        pipe_losses, pipe_params, _ = train(pipeline=True, **kwargs)
+        assert sync_losses == pipe_losses
+        for name, array in sync_params.items():
+            assert np.array_equal(array, pipe_params[name]), name
+
+
+class TestLivePlan:
+    def test_executed_plan_verifies_clean(self):
+        from repro.analysis.verifier import verify_plan
+
+        _, _, facts = train(pipeline=True)
+        plan = facts["plan"]
+        assert plan is not None
+        result = verify_plan(plan, facts["gpu_budget"])
+        assert result.ok, result.violations
+
+    def test_injected_plan_is_executed_not_replanned(self):
+        """One IterationPlan flows planner -> engine -> verifier."""
+        from repro.engine import build_live_plan
+
+        model = tiny_model()
+        opt = MixedPrecisionAdam(model.parameters(), lr=2e-3)
+        config = AngelConfig(
+            gpu_memory_bytes=2 * MiB, cpu_memory_bytes=16 * MiB,
+            page_bytes=32 * KiB, pipeline=True,
+        )
+        with initialize(model, opt, config) as engine:
+            batches = list(lm_synthetic_batches(16, 8, 4, 3, seed=5))
+            loss = engine(batches[0])
+            engine.backward(loss)
+            engine.step()
+            planned = build_live_plan(engine)
+        model = tiny_model()
+        opt = MixedPrecisionAdam(model.parameters(), lr=2e-3)
+        config = AngelConfig(
+            gpu_memory_bytes=2 * MiB, cpu_memory_bytes=16 * MiB,
+            page_bytes=32 * KiB, pipeline=True, plan=planned,
+        )
+        with initialize(model, opt, config) as engine:
+            for batch in batches:
+                loss = engine(batch)
+                engine.backward(loss)
+                engine.step()
+            assert engine.executed_plan() is planned
+
+    def test_plan_layer_mismatch_rejected(self):
+        model = tiny_model()
+        opt = MixedPrecisionAdam(model.parameters(), lr=2e-3)
+        config = AngelConfig(
+            gpu_memory_bytes=2 * MiB, cpu_memory_bytes=16 * MiB,
+            page_bytes=32 * KiB, pipeline=True,
+        )
+        with initialize(model, opt, config) as engine:
+            batch = next(iter(lm_synthetic_batches(16, 8, 4, 1, seed=5)))
+            loss = engine(batch)
+            engine.backward(loss)
+            engine.step()
+            plan = engine.executed_plan()
+        other = tiny_model(num_layers=1)
+        opt = MixedPrecisionAdam(other.parameters(), lr=2e-3)
+        config = AngelConfig(
+            gpu_memory_bytes=2 * MiB, cpu_memory_bytes=16 * MiB,
+            page_bytes=32 * KiB, pipeline=True, plan=plan,
+        )
+        engine = initialize(other, opt, config)
+        try:
+            batch = next(iter(lm_synthetic_batches(16, 8, 4, 1, seed=5)))
+            loss = engine(batch)
+            engine.backward(loss)
+            with pytest.raises(ConfigurationError, match="recorded"):
+                engine.step()
+        finally:
+            engine.close()
+
+
+class TestCoalescing:
+    def test_groups_by_trigger_layer_direction(self):
+        from repro.scheduler.tasks import Operation, Schedule, ScheduledTask
+
+        tasks = [
+            ScheduledTask(Operation.MOVE_TO_GPU, layer_index=0, page_id=0,
+                          trigger_id=0, nbytes=10),
+            ScheduledTask(Operation.MOVE_TO_GPU, layer_index=0, page_id=1,
+                          trigger_id=0, nbytes=10),
+            ScheduledTask(Operation.MOVE_TO_CPU, layer_index=0, page_id=0,
+                          trigger_id=2, nbytes=10),
+            ScheduledTask(Operation.MOVE_TO_GPU, layer_index=1, page_id=0,
+                          trigger_id=0, nbytes=10),
+            ScheduledTask(Operation.ALL_GATHER, layer_index=0, page_id=0,
+                          trigger_id=1, nbytes=10),
+        ]
+        groups = coalesce_schedule(Schedule(tasks=list(tasks)))
+        assert [
+            (g.trigger_id, g.layer_index, g.fetch, g.pages) for g in groups
+        ] == [(0, 0, True, 2), (0, 1, True, 1), (2, 0, False, 1)]
+        assert groups[0].nbytes == 20
+
+    def test_move_many_coalesces_and_dedups(self):
+        from repro.memory.allocator import PageAllocator
+        from repro.memory.pool import DevicePool
+
+        pools = {
+            DeviceKind.GPU: DevicePool(DeviceKind.GPU, 1 * MiB, 32 * KiB),
+            DeviceKind.CPU: DevicePool(DeviceKind.CPU, 4 * MiB, 32 * KiB),
+        }
+        allocator = PageAllocator(pools)
+        # Two tensors whose tails share one page (at-most-two-per-page).
+        first = allocator.allocate((40 * KiB // 4,), np.float32, DeviceKind.CPU)
+        second = allocator.allocate((40 * KiB // 4,), np.float32, DeviceKind.CPU)
+        shared = set(map(id, first.page_list)) & set(map(id, second.page_list))
+        assert shared, "expected a tail-shared page"
+        first.write_array(np.arange(first.size, dtype=np.float32))
+        second.write_array(np.arange(second.size, dtype=np.float32) * 2)
+        moved = allocator.move_many([first, second], DeviceKind.GPU)
+        unique_pages = {id(p) for t in (first, second) for p in t.page_list}
+        assert moved == len(unique_pages) * 32 * KiB
+        assert first.device_kind == DeviceKind.GPU
+        assert second.device_kind == DeviceKind.GPU
+        assert np.array_equal(
+            first.read_array(), np.arange(first.size, dtype=np.float32)
+        )
+        # Idempotent: nothing left to move.
+        assert allocator.move_many([first, second], DeviceKind.GPU) == 0
+
+
+class TestWorkQueue:
+    def test_fifo_and_per_key_pending(self):
+        queue = WorkQueue()
+        queue.put("a", 1)
+        queue.put("b", 2)
+        assert len(queue) == 2
+        key, item = queue.get()
+        assert (key, item) == ("a", 1)
+        # Pending until task_done, so read-your-writes waits cover
+        # items a worker has dequeued but not finished.
+        done = threading.Event()
+
+        def waiter():
+            queue.wait_key("a")
+            done.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.02)
+        assert not done.is_set()
+        queue.task_done("a")
+        thread.join(timeout=5)
+        assert done.is_set()
+        queue.close()
+
+    def test_get_returns_none_when_closed_and_drained(self):
+        queue = WorkQueue()
+        queue.put("a", 1)
+        queue.close()
+        assert queue.get() is not None
+        queue.task_done("a")
+        assert queue.get() is None
+
+    def test_put_after_close_raises(self):
+        queue = WorkQueue()
+        queue.close()
+        with pytest.raises(ConfigurationError):
+            queue.put("a", 1)
+
+    def test_abort_drops_queued_and_wakes_waiters(self):
+        queue = WorkQueue()
+        queue.put("a", 1)
+        queue.put("a", 2)
+        dropped = queue.abort()
+        assert [item for _, item in dropped] == [1, 2]
+        queue.wait_key("a")  # returns immediately: nothing pending
+        queue.close()
+
+
+class TestWritebackQueue:
+    def test_flushes_and_barrier(self):
+        landed = []
+        queue = WritebackQueue(lambda fn: fn())
+        queue.start()
+        for i in range(5):
+            queue.submit(i, lambda i=i: landed.append(i))
+        queue.barrier()
+        assert landed == [0, 1, 2, 3, 4]
+        assert queue.stats()["flushed"] == 5
+        queue.close()
+
+    def test_wait_is_read_your_writes(self):
+        gate = threading.Event()
+        landed = []
+
+        def slow_io(fn):
+            gate.wait(timeout=5)
+            return fn()
+
+        queue = WritebackQueue(slow_io)
+        queue.start()
+        queue.submit("x", lambda: landed.append("x"))
+        assert landed == []
+        gate.set()
+        queue.wait("x")
+        assert landed == ["x"]
+        queue.close()
+
+    def test_worker_error_surfaces_on_next_submit(self):
+        def explode(fn):
+            raise SchedulingError("tier on fire")
+
+        queue = WritebackQueue(explode)
+        queue.start()
+        queue.submit("x", lambda: None)
+        # Surfaces the error instead of hanging on the dead worker.
+        with pytest.raises(SchedulingError, match="tier on fire"):
+            queue.barrier()
+        with pytest.raises(SchedulingError, match="tier on fire"):
+            queue.raise_if_failed()
+        queue.close()
+
+
+class TestPrefetchWorker:
+    @staticmethod
+    def groups():
+        return [
+            MoveGroup(trigger_id=0, layer_index=0, fetch=True, nbytes=10,
+                      pages=1),
+            MoveGroup(trigger_id=1, layer_index=1, fetch=True, nbytes=10,
+                      pages=1),
+            MoveGroup(trigger_id=4, layer_index=0, fetch=False, nbytes=10,
+                      pages=1),
+        ]
+
+    def test_window_gates_fetches_and_eviction_waits_for_trigger(self):
+        fetched, evicted = [], []
+        worker = PrefetchWorker(
+            self.groups(), fetched.append, evicted.append,
+            num_ops=6, window=2,
+        )
+        worker.start()
+        try:
+            worker.begin_iteration()
+            worker.await_layer(0, 0)
+            worker.await_layer(1, 1)
+            assert sorted(fetched) == [0, 1]
+            assert evicted == []  # trigger 4 not yet due
+            worker.advance(5)
+            worker.finish_iteration()
+            assert evicted == [0]
+            # Second iteration replays the same schedule.
+            worker.begin_iteration()
+            worker.advance(5)
+            worker.finish_iteration()
+            assert sorted(fetched) == [0, 0, 1, 1]
+        finally:
+            worker.stop()
+
+    def test_await_returns_stall_seconds(self):
+        release = threading.Event()
+
+        def slow_fetch(layer):
+            release.wait(timeout=5)
+
+        worker = PrefetchWorker(
+            self.groups()[:1], slow_fetch, lambda layer: None,
+            num_ops=6, window=2,
+        )
+        worker.start()
+        try:
+            worker.begin_iteration()
+            timer = threading.Timer(0.05, release.set)
+            timer.start()
+            stalled = worker.await_layer(0, 0)
+            assert stalled > 0.0
+        finally:
+            worker.stop()
+
+    def test_worker_error_raised_at_step_boundary(self):
+        def explode(layer):
+            raise SchedulingError("bad move")
+
+        worker = PrefetchWorker(
+            self.groups()[:1], explode, lambda layer: None,
+            num_ops=6, window=2,
+        )
+        worker.start()
+        try:
+            worker.begin_iteration()
+            with pytest.raises(SchedulingError, match="bad move"):
+                worker.finish_iteration()
+        finally:
+            worker.stop()
+
+
+class TestConfigRoundTrip:
+    def test_to_dict_from_dict(self):
+        config = AngelConfig(
+            gpu_memory_bytes=2 * MiB, pipeline=True, prefetch_window=3,
+        )
+        rebuilt = AngelConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown engine fields"):
+            AngelConfig.from_dict({"gpu_memory_byte": 1})
+
+    def test_collaborators_not_serialized(self):
+        config = AngelConfig(retry_policy=RetryPolicy())
+        assert "retry_policy" not in config.to_dict()
+
+    def test_validation_shared_with_post_init(self):
+        with pytest.raises(ConfigurationError, match="prefetch_window"):
+            AngelConfig.from_dict({"prefetch_window": 0})
