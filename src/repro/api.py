@@ -13,8 +13,9 @@ static verification — without memorizing which subsystem owns what::
 
 Each function is a thin, documented entry point over the real subsystem
 (:mod:`repro.engine`, :mod:`repro.telemetry.bench`,
-:mod:`repro.resilience`, :mod:`repro.observe.report`,
-:mod:`repro.analysis.verifier`); the subsystems remain importable
+:mod:`repro.resilience`, :mod:`repro.cluster`,
+:mod:`repro.observe.report`, :mod:`repro.analysis.verifier`); the
+subsystems remain importable
 directly, and nothing here adds behavior — only a stable address.
 Imports inside the functions keep ``import repro`` light.
 """
@@ -61,6 +62,26 @@ def chaos(config=None, workdir=None, telemetry=None):
     return run_chaos(config, workdir, telemetry=telemetry)
 
 
+def cluster(config=None, workdir=None, telemetry=None):
+    """Run an elastic multi-process cluster; returns a ``ClusterReport``.
+
+    ``config`` is a :class:`repro.cluster.ClusterConfig` — real worker
+    processes, rendezvous coordinator, heartbeat failure detection, and
+    (when ``kill_rank``/``kill_at_step`` are set) a SIGKILL mid-step with
+    checkpointed recovery. ``workdir`` holds checkpoints and the
+    membership event log (a fresh temp dir when omitted).
+    """
+    import tempfile
+
+    from repro.cluster import ClusterConfig, run_cluster
+
+    if config is None:
+        config = ClusterConfig()
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-cluster-")
+    return run_cluster(config, workdir, telemetry=telemetry)
+
+
 def report(bench, out, trace=None, html=False):
     """Render a run report from a ``BENCH_telemetry.json`` payload.
 
@@ -97,6 +118,7 @@ __all__ = [
     "TelemetryLike",
     "chaos",
     "check",
+    "cluster",
     "initialize",
     "profile",
     "report",

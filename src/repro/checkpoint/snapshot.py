@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
 import zlib
 from dataclasses import dataclass, field
@@ -19,6 +20,9 @@ import numpy as np
 from repro.errors import CheckpointError
 
 FORMAT_VERSION = 1
+
+#: The on-disk naming scheme every checkpoint writer in the repo uses.
+SNAPSHOT_NAME = re.compile(r"^ckpt-(\d+)\.npz$")
 
 
 @dataclass
@@ -81,6 +85,40 @@ def _fsync_directory(directory: str) -> None:
         pass
     finally:
         os.close(dir_fd)
+
+
+def snapshot_path(directory: str, step: int) -> str:
+    """The canonical path of the checkpoint taken after ``step`` steps."""
+    return os.path.join(directory, f"ckpt-{step:06d}.npz")
+
+
+def list_snapshots(directory: str) -> list[tuple[int, str]]:
+    """``(step, path)`` pairs of snapshots in ``directory``, newest first."""
+    found = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        match = SNAPSHOT_NAME.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    return sorted(found, reverse=True)
+
+
+def latest_good_snapshot(directory: str) -> tuple[Snapshot, int] | None:
+    """Newest snapshot whose checksums verify, or ``None`` if none does.
+
+    Corrupt files (torn writes, truncation) are skipped, not fatal: the
+    crash-consistency contract is that *some* older checkpoint always
+    restores.
+    """
+    for step, path in list_snapshots(directory):
+        try:
+            return load_snapshot(path), step
+        except CheckpointError:
+            continue
+    return None
 
 
 def load_snapshot(path: str) -> Snapshot:

@@ -398,6 +398,114 @@ def _cmd_report_compare(args: argparse.Namespace) -> int:
     return 0 if result["ok"] else 1
 
 
+def _run_cluster_scenario(config, workdir: str | None, tolerance: float,
+                          report_path: str | None = None,
+                          prog: str = "cluster") -> int:
+    """Run an elastic process-cluster scenario and gate on the outcome.
+
+    Shared by ``repro cluster`` and ``repro chaos --kill-rank``: runs the
+    fault-free sequential reference, then the real multi-process run, and
+    returns non-zero unless the run completed every step and its losses
+    track the reference within ``tolerance``.
+    """
+    import json
+    import tempfile
+
+    from repro.cluster import run_cluster, run_cluster_reference
+    from repro.telemetry import Telemetry
+
+    workdir = workdir or tempfile.mkdtemp(prefix="repro-cluster-")
+    reference = run_cluster_reference(config)
+    telemetry = Telemetry()
+    report = run_cluster(config, workdir, telemetry=telemetry)
+
+    print(f"workers         : {config.world_size} process(es), "
+          f"{config.steps} steps")
+    print(f"complete        : {report.complete}")
+    print(f"generations     : {report.generations} "
+          f"(evictions {report.evictions}, respawns {report.respawns})")
+    print(f"final world     : {report.final_world}")
+    print(f"steps completed : {report.steps_completed}/{config.steps}")
+    print("membership log  :")
+    for event in report.events:
+        detail = {k: v for k, v in event.items()
+                  if k not in ("type", "time", "generation")}
+        print(f"  gen {event.get('generation', '?')}: "
+              f"{event['type']} {detail}")
+    if report.alerts:
+        print("watchdog alerts :")
+        for alert in report.alerts:
+            print(f"  [{alert.severity.name}] {alert.rule} "
+                  f"@ step {alert.step}: {alert.message}")
+
+    failures = []
+    if not report.complete:
+        failures.append("run did not complete")
+    if report.steps_completed < config.steps:
+        failures.append(
+            f"only {report.steps_completed}/{config.steps} steps finished"
+        )
+    delta = None
+    if report.losses and len(report.losses) == len(reference):
+        delta = max(abs(a - b) for a, b in zip(reference, report.losses))
+        print(f"final loss      : {report.losses[-1]:.4f} "
+              f"(fault-free {reference[-1]:.4f}, max |delta| {delta:.2e})")
+        if delta > tolerance:
+            failures.append(
+                f"diverged from reference: max |delta| {delta:.2e} "
+                f"> tolerance {tolerance:.2e}"
+            )
+    elif not failures:
+        failures.append("no losses reported")
+
+    if report_path:
+        payload = report.to_dict()
+        payload["reference"] = reference
+        payload["tolerance"] = tolerance
+        payload["max_delta"] = delta
+        payload["failures"] = failures
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"report          : {report_path}")
+
+    if failures:
+        for failure in failures:
+            print(f"{prog}: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("verdict         : recovered, losses match reference")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterConfig
+
+    if args.steps < 1:
+        print("cluster: --steps must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("cluster: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.kill_rank is not None and not 0 <= args.kill_rank < args.workers:
+        print("cluster: --kill-rank must name a worker slot", file=sys.stderr)
+        return 2
+    config = ClusterConfig(
+        world_size=args.workers,
+        steps=args.steps,
+        checkpoint_every=args.ckpt_every,
+        seed=args.seed,
+        layers=args.layers,
+        kill_rank=args.kill_rank,
+        kill_at_step=args.at_step if args.at_step is not None
+        else args.steps // 2,
+        step_delay=args.step_delay,
+        rendezvous_grace=args.grace,
+        run_timeout=args.timeout,
+    )
+    return _run_cluster_scenario(
+        config, args.workdir, args.tolerance, report_path=args.report
+    )
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import tempfile
 
@@ -410,6 +518,28 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.ckpt_every < 1:
         print("chaos: --ckpt-every must be >= 1", file=sys.stderr)
         return 2
+    if args.kill_rank is not None:
+        # Process-cluster chaos: SIGKILL a real worker mid-step and
+        # demand full recovery (the elastic rendezvous path).
+        from repro.cluster import ClusterConfig
+
+        if not 0 <= args.kill_rank < args.workers:
+            print("chaos: --kill-rank must name a worker slot",
+                  file=sys.stderr)
+            return 2
+        config = ClusterConfig(
+            world_size=args.workers,
+            steps=args.steps,
+            checkpoint_every=args.ckpt_every,
+            seed=args.seed,
+            layers=args.layers,
+            kill_rank=args.kill_rank,
+            kill_at_step=args.at_step if args.at_step is not None
+            else args.steps // 2,
+        )
+        return _run_cluster_scenario(
+            config, args.workdir, args.tolerance, prog="chaos"
+        )
     config = ChaosConfig(
         steps=args.steps,
         checkpoint_every=args.ckpt_every,
@@ -476,6 +606,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f"(= {model.optimal_checkpoint_every()} steps at "
           f"{args.iteration_time:.0f}s/step), "
           f"efficiency {model.efficiency(interval):.1%}")
+    failures = []
+    if report.steps_completed < args.steps:
+        failures.append(
+            f"unhealed faults: only {report.steps_completed}/{args.steps} "
+            "steps completed"
+        )
+    if delta > args.tolerance:
+        failures.append(
+            f"diverged from reference: |delta| {delta:.4f} "
+            f"> tolerance {args.tolerance:.4f}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"chaos: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("verdict         : healed, losses match reference")
     return 0
 
 
@@ -552,12 +698,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="crash a rank at this step (restore from checkpoint)")
     chaos.add_argument("--workdir", default=None,
                        help="checkpoint directory (default: fresh temp dir)")
+    chaos.add_argument("--tolerance", type=float, default=0.05,
+                       help="max |final loss - reference| before exit 1")
+    chaos.add_argument("--kill-rank", type=int, default=None,
+                       help="SIGKILL this worker slot in a real "
+                            "multi-process cluster run")
+    chaos.add_argument("--at-step", type=int, default=None,
+                       help="step at which --kill-rank fires "
+                            "(default: steps // 2)")
+    chaos.add_argument("--workers", type=int, default=3,
+                       help="process count for --kill-rank mode")
     chaos.add_argument("--iteration-time", type=float, default=60.0,
                        help="per-step seconds for the Young/Daly summary")
     chaos.add_argument("--checkpoint-time", type=float, default=120.0)
     chaos.add_argument("--restart-time", type=float, default=300.0)
     chaos.add_argument("--mtbf", type=float, default=12 * 3600.0)
     chaos.set_defaults(func=_cmd_chaos)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="elastic multi-process training with rendezvous + heartbeats",
+    )
+    cluster.add_argument("--workers", type=int, default=3)
+    cluster.add_argument("--steps", type=int, default=12)
+    cluster.add_argument("--ckpt-every", type=int, default=3)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--layers", type=int, default=2)
+    cluster.add_argument("--kill-rank", type=int, default=None,
+                         help="SIGKILL this worker slot mid-step")
+    cluster.add_argument("--at-step", type=int, default=None,
+                         help="step at which --kill-rank fires")
+    cluster.add_argument("--step-delay", type=float, default=0.0,
+                         help="artificial per-step duration (seconds)")
+    cluster.add_argument("--grace", type=float, default=1.0,
+                         help="rendezvous straggler grace window (seconds)")
+    cluster.add_argument("--timeout", type=float, default=120.0,
+                         help="hard wall-clock limit for the whole run")
+    cluster.add_argument("--tolerance", type=float, default=0.05,
+                         help="max loss delta vs fault-free reference")
+    cluster.add_argument("--workdir", default=None,
+                         help="checkpoint + event-log directory")
+    cluster.add_argument("--report", default=None,
+                         help="write a JSON run report to this path")
+    cluster.set_defaults(func=_cmd_cluster)
 
     profile = sub.add_parser(
         "profile",

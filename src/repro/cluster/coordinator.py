@@ -1,0 +1,487 @@
+"""The rendezvous coordinator: membership, barriers, failure detection.
+
+One process (or thread, in tests) owns the cluster's membership truth:
+
+- **Rendezvous.** Workers ``join`` and block until a generation forms.
+  A generation forms the moment ``world_size`` workers are pending, or
+  once no new joiner has arrived for ``rendezvous_grace`` seconds and at
+  least ``min_world`` are pending. Ranks are assigned by ascending slot.
+- **Barriers.** Named, generation-scoped. A barrier that completes
+  before a fence replies ``ok`` to every member (the collective's data
+  is fully published, so it may finish); a fence while any member is
+  still missing fails *all* waiters with a fenced reply.
+- **Failure detection.** Each worker heartbeats on a dedicated
+  connection. The monitor thread walks the membership every half
+  interval: a heartbeat older than ``suspect_after`` marks the worker
+  suspect, older than ``evict_after`` evicts it. A control-connection
+  EOF (SIGKILL closes the socket immediately) evicts without waiting
+  for the deadline. Eviction fences the generation — survivors' next
+  barrier fails, they re-join, and the next generation forms.
+
+Every membership transition is appended to ``membership_events.jsonl``
+under the run directory — the audit log the CI chaos job uploads.
+
+Thread model: one listener accept loop, one handler thread per
+connection, one monitor thread. A single condition guards all mutable
+state; every wait is bounded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from multiprocessing.connection import Listener
+
+from repro.cluster.protocol import (
+    EVENT_COMPLETE,
+    EVENT_EVICTED,
+    EVENT_FENCED,
+    EVENT_GENERATION,
+    EVENT_JOIN,
+    EVENT_REPORT,
+    EVENT_RETIRED,
+    EVENT_SUSPECT,
+    EVENTS_FILENAME,
+    OP_BARRIER,
+    OP_DONE,
+    OP_HEARTBEAT,
+    OP_JOIN,
+    OP_LEAVE,
+    OP_REPORT,
+    OP_RETIRE,
+    OP_SHUTDOWN,
+    OP_STATS,
+    ClusterConfig,
+)
+
+_CLOSE = object()
+
+
+class _Member:
+    """One worker's standing in the current generation."""
+
+    __slots__ = (
+        "worker", "slot", "incarnation", "rank",
+        "last_beat", "missed", "suspect", "step", "done",
+    )
+
+    def __init__(self, worker: str, slot: int, incarnation: int, rank: int,
+                 now: float):
+        self.worker = worker
+        self.slot = slot
+        self.incarnation = incarnation
+        self.rank = rank
+        self.last_beat = now
+        self.missed = 0
+        self.suspect = False
+        self.step = 0
+        self.done = False
+
+
+class _Barrier:
+    """One named barrier's arrivals within a generation."""
+
+    __slots__ = ("arrived", "released", "rejoin")
+
+    def __init__(self):
+        self.arrived: set[str] = set()
+        self.released = False
+        #: Decided once, when the last member arrives, so every member
+        #: gets the same answer: should the group checkpoint and re-form
+        #: to admit pending joiners?
+        self.rejoin = False
+
+
+class Coordinator:
+    """Generation-numbered membership service for trainer workers."""
+
+    def __init__(self, config: ClusterConfig, workdir: str, clock=None):
+        self.config = config
+        self.workdir = workdir
+        self.clock = clock if clock is not None else time.monotonic
+        os.makedirs(workdir, exist_ok=True)
+        self.events_path = os.path.join(workdir, EVENTS_FILENAME)
+
+        self._cond = threading.Condition()
+        # All state below is guarded by _cond.
+        self._generation = 0
+        self._fenced = False
+        self._fence_reason: str | None = None
+        self._members: dict[str, _Member] = {}
+        self._pending: dict[str, dict] = {}
+        self._last_join: float | None = None
+        self._barriers: dict[str, _Barrier] = {}
+        self._evictions = 0
+        self._complete = False
+        self._closing = False
+        self._reports: dict[str, dict] = {}
+        self._events: list[dict] = []
+        self._listener: Listener | None = None
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(self, address, authkey: bytes) -> None:
+        """Accept connections until :data:`OP_SHUTDOWN`; blocks."""
+        listener = Listener(address, authkey=authkey)
+        with self._cond:
+            self._listener = listener
+        monitor = threading.Thread(
+            target=self._monitor, name="cluster-monitor", daemon=True
+        )
+        monitor.start()
+        try:
+            while True:
+                try:
+                    conn = listener.accept()
+                except (OSError, EOFError):
+                    break  # listener closed by shutdown
+                threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                ).start()
+        finally:
+            with self._cond:
+                self._closing = True
+                self._cond.notify_all()
+            try:
+                listener.close()
+            except OSError:
+                pass
+            monitor.join(timeout=2.0)
+
+    def _serve_connection(self, conn) -> None:
+        try:
+            hello = conn.recv()
+        except (EOFError, OSError):
+            conn.close()
+            return
+        worker = hello.get("worker", "?")
+        kind = hello.get("kind", "control")
+        try:
+            conn.send({"ok": True})
+            while True:
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    break
+                reply = self._dispatch(message)
+                if reply is _CLOSE:
+                    conn.send({"ok": True})
+                    break
+                conn.send(reply)
+        except (EOFError, OSError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            if kind == "control":
+                self._on_disconnect(worker)
+
+    def _dispatch(self, message: dict):
+        op = message.get("op")
+        worker = message.get("worker", "?")
+        if op == OP_JOIN:
+            return self._op_join(worker, message)
+        if op == OP_BARRIER:
+            return self._op_barrier(worker, message)
+        if op == OP_HEARTBEAT:
+            return self._op_heartbeat(worker, message)
+        if op == OP_RETIRE:
+            return self._op_retire(worker, message)
+        if op == OP_REPORT:
+            return self._op_report(worker, message)
+        if op == OP_DONE:
+            return self._op_done(worker)
+        if op == OP_STATS:
+            return self._op_stats()
+        if op == OP_SHUTDOWN:
+            self._op_shutdown()
+            return {"ok": True}
+        if op == OP_LEAVE:
+            return _CLOSE
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    def _op_join(self, worker: str, message: dict) -> dict:
+        with self._cond:
+            if self._closing or self._complete:
+                return {"ok": False, "closing": True, "complete": self._complete}
+            self._pending[worker] = {
+                "slot": int(message.get("slot", 0)),
+                "incarnation": int(message.get("incarnation", 0)),
+            }
+            self._last_join = self.clock()
+            self._log(EVENT_JOIN, worker=worker, **self._pending[worker])
+            self._cond.notify_all()
+
+            def admitted():
+                member = self._members.get(worker)
+                return (
+                    self._closing or self._complete
+                    or (member is not None and worker not in self._pending)
+                )
+
+            if not self._cond.wait_for(admitted, timeout=self.config.run_timeout):
+                self._pending.pop(worker, None)
+                return {"ok": False, "error": "rendezvous timed out"}
+            if self._closing or self._complete:
+                return {"ok": False, "closing": True, "complete": self._complete}
+            member = self._members[worker]
+            return {
+                "ok": True,
+                "generation": self._generation,
+                "rank": member.rank,
+                "world": len(self._members),
+                "members": {w: m.rank for w, m in self._members.items()},
+                "num_data_shards": self.config.num_data_shards,
+            }
+
+    def _op_barrier(self, worker: str, message: dict) -> dict:
+        name = str(message.get("name"))
+        generation = int(message.get("generation", -1))
+        with self._cond:
+            if generation != self._generation or worker not in self._members:
+                return self._fenced_reply("stale generation")
+            if self._fenced:
+                return self._fenced_reply(self._fence_reason)
+            barrier = self._barriers.setdefault(name, _Barrier())
+            barrier.arrived.add(worker)
+            if barrier.arrived >= set(self._members):
+                barrier.released = True
+                # One decision for the whole group, made at release time.
+                barrier.rejoin = bool(self._pending)
+                self._cond.notify_all()
+            else:
+                self._cond.wait_for(
+                    lambda: barrier.released or self._fenced or self._closing
+                    or generation != self._generation,
+                    timeout=self.config.run_timeout,
+                )
+            # A barrier that released before the fence stays good: every
+            # member already published its data for this collective.
+            if barrier.released:
+                return {"ok": True, "rejoin": barrier.rejoin}
+            return self._fenced_reply(self._fence_reason or "barrier timed out")
+
+    def _op_heartbeat(self, worker: str, message: dict) -> dict:
+        generation = int(message.get("generation", -1))
+        with self._cond:
+            member = self._members.get(worker)
+            if member is None or generation != self._generation:
+                return {"ok": True, "member": False, "fenced": True}
+            member.last_beat = self.clock()
+            member.missed = 0
+            member.suspect = False
+            member.step = int(message.get("step", member.step))
+            return {"ok": True, "member": True, "fenced": self._fenced}
+
+    def _op_retire(self, worker: str, message: dict) -> dict:
+        generation = int(message.get("generation", -1))
+        with self._cond:
+            if generation == self._generation and not self._fenced:
+                self._fence(f"rescale requested by {worker}")
+            self._log(EVENT_RETIRED, worker=worker)
+            return {"ok": True}
+
+    def _op_report(self, worker: str, message: dict) -> dict:
+        with self._cond:
+            self._reports[worker] = message.get("payload", {})
+            self._log(EVENT_REPORT, worker=worker)
+            return {"ok": True}
+
+    def _op_done(self, worker: str) -> dict:
+        with self._cond:
+            member = self._members.get(worker)
+            if member is not None:
+                member.done = True
+            if (
+                not self._fenced
+                and self._members
+                and all(m.done for m in self._members.values())
+                and not self._complete
+            ):
+                self._complete = True
+                self._log(EVENT_COMPLETE, world=len(self._members))
+                self._cond.notify_all()
+            return {"ok": True, "complete": self._complete}
+
+    def _op_stats(self) -> dict:
+        with self._cond:
+            now = self.clock()
+            members = {}
+            for worker, member in self._members.items():
+                age = max(0.0, now - member.last_beat)
+                members[worker] = {
+                    "rank": member.rank,
+                    "slot": member.slot,
+                    "incarnation": member.incarnation,
+                    "step": member.step,
+                    "age": age,
+                    "missed": member.missed,
+                    "suspect": member.suspect,
+                    "done": member.done,
+                }
+            return {
+                "ok": True,
+                "generation": self._generation,
+                "world": len(self._members),
+                "fenced": self._fenced,
+                "evictions": self._evictions,
+                "complete": self._complete,
+                "members": members,
+                "pending": sorted(self._pending),
+                "reports": dict(self._reports),
+            }
+
+    def _op_shutdown(self) -> None:
+        with self._cond:
+            self._closing = True
+            listener = self._listener
+            self._cond.notify_all()
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    def _on_disconnect(self, worker: str) -> None:
+        """Control EOF: a SIGKILLed worker is evicted without a deadline."""
+        with self._cond:
+            self._pending.pop(worker, None)
+            member = self._members.get(worker)
+            if (
+                member is None or member.done
+                or self._complete or self._closing or self._fenced
+            ):
+                return
+            self._evict(worker, "control connection lost")
+
+    # ------------------------------------------------------------------
+    # Monitor thread: formation + heartbeat deadlines
+    # ------------------------------------------------------------------
+    def _monitor(self) -> None:
+        with self._cond:
+            while not self._closing:
+                self._cond.wait(timeout=self.config.heartbeat_interval / 2)
+                if self._closing:
+                    return
+                now = self.clock()
+                self._check_formation(now)
+                self._check_liveness(now)
+
+    def _check_formation(self, now: float) -> None:
+        """Form the next generation from pending joiners.
+
+        Called with ``_cond`` held; re-acquires it (the condition wraps
+        an RLock) so every write is lock-mediated in its own right.
+        """
+        with self._cond:
+            if self._complete or not self._pending:
+                return
+            if self._generation > 0 and not self._fenced:
+                return  # an unfenced generation is running; joiners wait
+            quorum = len(self._pending) >= self.config.world_size
+            grace_over = (
+                self._last_join is not None
+                and now - self._last_join >= self.config.rendezvous_grace
+                and len(self._pending) >= self.config.min_world
+            )
+            if not (quorum or grace_over):
+                return
+            self._generation += 1
+            self._fenced = False
+            self._fence_reason = None
+            self._barriers = {}
+            self._members = {}
+            ordered = sorted(
+                self._pending.items(), key=lambda item: item[1]["slot"]
+            )
+            for rank, (worker, info) in enumerate(ordered):
+                self._members[worker] = _Member(
+                    worker, info["slot"], info["incarnation"], rank, now
+                )
+            self._pending = {}
+            self._log(
+                EVENT_GENERATION,
+                world=len(self._members),
+                members={w: m.rank for w, m in self._members.items()},
+            )
+            self._cond.notify_all()
+
+    def _check_liveness(self, now: float) -> None:
+        """Advance the missed counters and the suspect/evict ladder."""
+        with self._cond:
+            if self._generation == 0:
+                return
+            interval = self.config.heartbeat_interval
+            for worker in list(self._members):
+                member = self._members[worker]
+                if member.done:
+                    continue
+                age = max(0.0, now - member.last_beat)
+                member.missed = int(age / interval)
+                if self._fenced or self._complete:
+                    continue  # fenced generations are already torn down
+                if age >= self.config.suspect_after and not member.suspect:
+                    member.suspect = True
+                    self._log(EVENT_SUSPECT, worker=worker, age=round(age, 4))
+                if age >= self.config.evict_after:
+                    self._evict(worker, f"heartbeat silent for {age:.3f}s")
+
+    def _evict(self, worker: str, reason: str) -> None:
+        """Remove a dead worker and fence its generation."""
+        with self._cond:
+            member = self._members.pop(worker, None)
+            if member is None:
+                return
+            self._evictions += 1
+            self._log(EVENT_EVICTED, worker=worker, reason=reason)
+            if not self._fenced:
+                self._fence(f"{worker} evicted ({reason})")
+            self._cond.notify_all()
+
+    def _fence(self, reason: str) -> None:
+        """No collective of this generation may complete from here on."""
+        with self._cond:
+            self._fenced = True
+            self._fence_reason = reason
+            # Restart the rendezvous grace clock: survivors deserve the
+            # full window to re-join before a smaller generation forms
+            # around whoever was already pending.
+            self._last_join = self.clock()
+            self._log(EVENT_FENCED, reason=reason)
+            self._cond.notify_all()
+
+    def _fenced_reply(self, reason: str | None) -> dict:
+        return {
+            "ok": False,
+            "fenced": True,
+            "generation": self._generation,
+            "reason": reason,
+        }
+
+    # ------------------------------------------------------------------
+    # Event log (called under _cond)
+    # ------------------------------------------------------------------
+    def _log(self, event_type: str, **fields) -> None:
+        event = {
+            "type": event_type,
+            "time": time.time(),
+            "generation": self._generation,
+            **fields,
+        }
+        self._events.append(event)
+        with open(self.events_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(event) + "\n")
+
+
+def coordinator_main(config: ClusterConfig, address, authkey: bytes,
+                     workdir: str) -> None:
+    """Process entry point: serve until shut down (spawn-safe)."""
+    Coordinator(config, workdir).serve(address, authkey)

@@ -1,0 +1,249 @@
+"""Launch and babysit a real multi-process elastic cluster.
+
+``run_cluster`` owns every OS resource of one run: it spawns the
+coordinator process, spawns ``world_size`` worker processes (spawn
+context — each a fresh interpreter, as on a real node), then polls the
+coordinator's ``stats`` RPC to:
+
+- mirror membership into telemetry (``cluster.heartbeat.*`` gauges feed
+  the ``worker_liveness`` watchdog rule, ``cluster.membership.*`` the
+  run report);
+- respawn dead workers into the same **slot** with a bumped
+  **incarnation**, up to ``max_respawns`` times — the replacement joins
+  the coordinator's pending set and is admitted at the next rescale
+  boundary;
+- enforce ``run_timeout`` as a hard stop so a protocol bug can never
+  hang a test or CI job.
+
+The returned :class:`ClusterReport` bundles the converged losses, the
+membership event log (the CI artifact), generation/eviction/respawn
+counts and any watchdog alerts.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import Client
+
+from repro.cluster.coordinator import coordinator_main
+from repro.cluster.protocol import (
+    EVENTS_FILENAME,
+    OP_HELLO,
+    OP_SHUTDOWN,
+    OP_STATS,
+    ClusterConfig,
+)
+from repro.cluster.worker import session_token, worker_entry
+from repro.errors import ClusterError, ConfigurationError
+
+
+@dataclass
+class ClusterReport:
+    """What one elastic run did, and what it survived."""
+
+    complete: bool = False
+    losses: list[float] = field(default_factory=list)
+    steps_completed: int = 0
+    generations: int = 0
+    evictions: int = 0
+    respawns: int = 0
+    final_world: int = 0
+    events: list[dict] = field(default_factory=list)
+    alerts: list = field(default_factory=list)
+    workdir: str = ""
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ConfigurationError("no steps completed")
+        return self.losses[-1]
+
+    def to_dict(self) -> dict:
+        return {
+            "complete": self.complete,
+            "losses": self.losses,
+            "steps_completed": self.steps_completed,
+            "generations": self.generations,
+            "evictions": self.evictions,
+            "respawns": self.respawns,
+            "final_world": self.final_world,
+            "events": self.events,
+            "alerts": [
+                alert.to_dict() if hasattr(alert, "to_dict") else alert
+                for alert in self.alerts
+            ],
+            "workdir": self.workdir,
+        }
+
+
+def _connect(address, authkey: bytes, deadline: float):
+    """Dial the coordinator until it answers or the deadline passes."""
+    last_error = None
+    while time.monotonic() < deadline:
+        try:
+            conn = Client(address, authkey=authkey)
+            conn.send({"op": OP_HELLO, "worker": "supervisor",
+                       "kind": "supervisor"})
+            conn.recv()
+            return conn
+        except (ConnectionError, FileNotFoundError, OSError) as exc:
+            last_error = exc
+            time.sleep(0.02)
+    raise ClusterError(f"coordinator never came up: {last_error}")
+
+
+def _spawn_worker(ctx, config: ClusterConfig, address, authkey: bytes,
+                  workdir: str, slot: int, incarnation: int):
+    process = ctx.Process(
+        target=worker_entry,
+        args=(config, address, authkey, workdir, slot, incarnation),
+        name=f"cluster-w{slot}i{incarnation}",
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+def _read_events(workdir: str) -> list[dict]:
+    path = os.path.join(workdir, EVENTS_FILENAME)
+    events = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+    except FileNotFoundError:
+        pass
+    return events
+
+
+def run_cluster(config: ClusterConfig, workdir: str,
+                telemetry=None, watchdog=None) -> ClusterReport:
+    """Run one elastic training job with real worker processes."""
+    os.makedirs(workdir, exist_ok=True)
+    # AF_UNIX socket paths are length-limited (~108 bytes); anchor the
+    # rendezvous address in tmp, scoped by pid + workdir hash.
+    address = os.path.join(
+        tempfile.gettempdir(),
+        f"{session_token(workdir)}-{os.getpid()}.sock",
+    )
+    authkey = os.urandom(16)
+    ctx = multiprocessing.get_context("spawn")
+
+    if telemetry is not None and watchdog is None:
+        from repro.observe.watchdog import Watchdog
+
+        watchdog = Watchdog(telemetry=telemetry)
+
+    coordinator = ctx.Process(
+        target=coordinator_main,
+        args=(config, address, authkey, workdir),
+        name="cluster-coordinator",
+        daemon=True,
+    )
+    coordinator.start()
+    deadline = time.monotonic() + config.run_timeout
+    supervisor_conn = _connect(address, authkey, deadline)
+
+    workers: dict[int, object] = {}
+    incarnations: dict[int, int] = {}
+    report = ClusterReport(workdir=workdir)
+    stats: dict = {}
+    try:
+        for slot in range(config.world_size):
+            incarnations[slot] = 0
+            workers[slot] = _spawn_worker(
+                ctx, config, address, authkey, workdir, slot, 0
+            )
+
+        while time.monotonic() < deadline:
+            supervisor_conn.send({"op": OP_STATS, "worker": "supervisor"})
+            stats = supervisor_conn.recv()
+            _mirror(stats, telemetry)
+            if watchdog is not None:
+                steps = [m["step"] for m in stats.get("members", {}).values()]
+                report.alerts.extend(
+                    watchdog.observe_step(step=max(steps, default=0))
+                )
+            if stats.get("complete"):
+                break
+            _respawn_dead(
+                ctx, config, address, authkey, workdir,
+                workers, incarnations, report,
+            )
+            time.sleep(config.heartbeat_interval)
+    finally:
+        try:
+            supervisor_conn.send({"op": OP_SHUTDOWN, "worker": "supervisor"})
+            supervisor_conn.recv()
+        except (EOFError, OSError):
+            pass
+        try:
+            supervisor_conn.close()
+        except OSError:
+            pass
+        _reap(coordinator, workers)
+
+    report.complete = bool(stats.get("complete"))
+    report.generations = int(stats.get("generation", 0))
+    report.evictions = int(stats.get("evictions", 0))
+    report.final_world = int(stats.get("world", 0))
+    for payload in stats.get("reports", {}).values():
+        losses = payload.get("losses")
+        if losses:
+            report.losses = [float(x) for x in losses]
+            break
+    report.steps_completed = len(report.losses)
+    report.events = _read_events(workdir)
+    return report
+
+
+def _mirror(stats: dict, telemetry) -> None:
+    """Publish the coordinator's view into the supervisor's telemetry."""
+    if telemetry is None or not telemetry.enabled:
+        return
+    for worker, info in stats.get("members", {}).items():
+        telemetry.record_heartbeat(worker, info["age"], info["missed"])
+    telemetry.record_membership(
+        stats.get("generation", 0),
+        stats.get("world", 0),
+        stats.get("evictions", 0),
+    )
+
+
+def _respawn_dead(ctx, config: ClusterConfig, address, authkey: bytes,
+                  workdir: str, workers: dict, incarnations: dict,
+                  report: ClusterReport) -> None:
+    for slot, process in list(workers.items()):
+        if process.is_alive() or process.exitcode == 0:
+            continue  # running, or exited cleanly (workload done for it)
+        if incarnations[slot] >= config.max_respawns:
+            continue
+        time.sleep(config.respawn_delay)
+        incarnations[slot] += 1
+        report.respawns += 1
+        workers[slot] = _spawn_worker(
+            ctx, config, address, authkey, workdir,
+            slot, incarnations[slot],
+        )
+
+
+def _reap(coordinator, workers: dict) -> None:
+    """Best-effort teardown: join briefly, then terminate, then kill."""
+    processes = [coordinator] + list(workers.values())
+    for process in processes:
+        process.join(timeout=2.0)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+    for process in processes:
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=1.0)

@@ -1,0 +1,173 @@
+"""Page-granularity collectives over ``multiprocessing.shared_memory``.
+
+Each collective call is one exchange round: every rank creates its own
+shared-memory segment, writes its contribution page by page, meets the
+group at a coordinator barrier ("everyone has published"), reads its
+peers' segments in ascending rank order (so floating-point reductions
+are bit-reproducible), meets a second barrier ("everyone has read"),
+then unlinks its own segment. Segments therefore live for exactly one
+collective; a clean run leaks nothing.
+
+Fencing is how death propagates: the barrier callable raises
+:class:`~repro.errors.GenerationFencedError` when the coordinator has
+evicted a member, and the transport responds by best-effort unlinking
+every segment of the aborted round (including the dead peer's, if it got
+far enough to create one) before re-raising. Survivors then re-join the
+next generation with a fresh transport.
+
+Segment names are scoped by session token, generation, sequence number
+and rank, so concurrent runs — and successive generations of one run —
+can never collide.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ClusterError, GenerationFencedError
+from repro.zero.collectives import Transport, copy_pages, shard_length
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a peer's segment.
+
+    Segments live for exactly one collective and the creating rank
+    unlinks after the drain barrier, so the (shared) resource tracker's
+    entry is registered before it is unregistered and no cleanup is ever
+    owed by an attacher.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+class SharedMemoryTransport(Transport):
+    """One rank's collectives for one generation of a process cluster.
+
+    ``barrier`` is a callable ``barrier(name) -> None`` that blocks until
+    every member of the generation arrives, raising
+    :class:`GenerationFencedError` if the generation is fenced first —
+    in practice a thin wrapper over the coordinator's barrier RPC.
+    """
+
+    def __init__(self, rank: int, world: int, generation: int, session: str,
+                 barrier, page_bytes: int, telemetry=None):
+        super().__init__(rank, world, page_bytes, telemetry)
+        self.generation = generation
+        self.session = session
+        self._barrier = barrier
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+    def _segment_name(self, seq: int, rank: int) -> str:
+        return f"{self.session}g{self.generation}c{seq}r{rank}"
+
+    # ------------------------------------------------------------------
+    # The exchange round shared by both collectives
+    # ------------------------------------------------------------------
+    def _exchange(self, payload: np.ndarray, reader) -> tuple:
+        """Publish ``payload``, run ``reader`` over all ranks' segments.
+
+        ``reader(views)`` receives ``{rank: flat ndarray view}`` and
+        returns ``(result, pages_read)``. Returns ``(result, pages)``.
+        """
+        seq = self._seq
+        self._seq += 1
+        own_name = self._segment_name(seq, self.rank)
+        segment = shared_memory.SharedMemory(
+            create=True, size=payload.nbytes, name=own_name
+        )
+        peers: list[shared_memory.SharedMemory] = []
+        try:
+            own_view = np.ndarray(
+                payload.shape, dtype=payload.dtype, buffer=segment.buf
+            )
+            pages = copy_pages(own_view, payload, self.page_bytes)
+            self._barrier(f"c{seq}-publish")
+            views = {self.rank: own_view}
+            for rank in range(self.world):
+                if rank == self.rank:
+                    continue
+                peer = _attach(self._segment_name(seq, rank))
+                peers.append(peer)
+                views[rank] = np.ndarray(
+                    payload.shape, dtype=payload.dtype, buffer=peer.buf
+                )
+            result, pages_read = reader(views)
+            pages += pages_read
+            self._barrier(f"c{seq}-drain")
+            return result, pages
+        except GenerationFencedError:
+            self._abort_round(seq)
+            raise
+        finally:
+            for peer in peers:
+                try:
+                    peer.close()
+                except OSError:
+                    pass
+            try:
+                segment.close()
+                segment.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+
+    def _abort_round(self, seq: int) -> None:
+        """Fenced mid-round: scrub every segment this round may have left.
+
+        The dead rank can't unlink its own segment, and peers may never
+        reach their normal cleanup — every survivor sweeps all names of
+        the round; double-unlinks surface as FileNotFoundError and are
+        ignored.
+        """
+        for rank in range(self.world):
+            if rank == self.rank:
+                continue  # own segment is unlinked by the finally block
+            try:
+                stale = _attach(self._segment_name(seq, rank))
+            except FileNotFoundError:
+                continue
+            try:
+                stale.close()
+                stale.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def all_gather(self, shard: np.ndarray) -> list[np.ndarray]:
+        if shard.ndim != 1:
+            raise ClusterError("transports operate on flat vectors")
+
+        def read_all(views: dict) -> tuple:
+            gathered, pages = [], 0
+            for rank in range(self.world):
+                out = np.empty_like(views[rank])
+                pages += copy_pages(out, views[rank], self.page_bytes)
+                gathered.append(out)
+            return gathered, pages
+
+        gathered, pages = self._exchange(shard, read_all)
+        self._account("all_gather", shard.nbytes * self.world, pages)
+        return gathered
+
+    def reduce_scatter(self, full: np.ndarray) -> np.ndarray:
+        padded = self.pad_full(full)
+        length = shard_length(full.size, self.world)
+        lo, hi = self.rank * length, (self.rank + 1) * length
+
+        def read_slices(views: dict) -> tuple:
+            acc = np.zeros(length, dtype=padded.dtype)
+            pages = 0
+            for rank in range(self.world):  # ascending: deterministic sum
+                staged = np.empty(length, dtype=padded.dtype)
+                pages += copy_pages(staged, views[rank][lo:hi], self.page_bytes)
+                acc += staged
+            return acc, pages
+
+        acc, pages = self._exchange(padded, read_slices)
+        self._account("reduce_scatter", full.nbytes, pages)
+        return acc

@@ -1,0 +1,429 @@
+"""Elastic ZeRO trainer workers: join, train, survive, re-join.
+
+Each worker process runs the outer rendezvous loop: join the next
+generation, build a :class:`SharedMemoryTransport`, and train until the
+workload completes or the generation fences. The inner loop is the ZeRO
+step over a tiny transformer LM:
+
+1. compute gradients for the **data shards this rank owns** (shard ``s``
+   belongs to rank ``s % world``; the shard count is fixed at the launch
+   world size, so the global batch never changes when the world shrinks);
+2. ``reduce_scatter`` the summed gradient — each rank keeps its slice of
+   the rank-order sum, bit-identical to the sequential reference when
+   ``world == num_data_shards``;
+3. apply Adam to the FP32 master/moment shards this rank owns and
+   refresh FP16 parameters via ``all_gather``;
+4. ``all_gather`` the per-rank float64 loss sums for the global loss.
+
+Every ``checkpoint_every`` steps (and before a graceful rescale) the
+group all-gathers full master/m/v state and rank 0 persists it through
+the crash-consistent :mod:`repro.checkpoint.snapshot` path. Recovery is
+resume: a new generation loads the newest good snapshot, re-shards it
+for the new world size (the elastic path — exact for elementwise Adam),
+and replays the batch stream from the checkpointed step.
+
+A configured kill (``kill_rank``/``kill_at_step``) SIGKILLs the worker
+*between gradient computation and the reduce-scatter* — mid-step, with
+the collective half-published — which is exactly the window the fencing
+protocol must make safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import threading
+import time
+from multiprocessing.connection import Client
+
+import numpy as np
+
+from repro.checkpoint.reshard import split_even
+from repro.checkpoint.snapshot import (
+    Snapshot,
+    latest_good_snapshot,
+    save_snapshot,
+    snapshot_path,
+)
+from repro.cluster.protocol import (
+    OP_BARRIER,
+    OP_DONE,
+    OP_HEARTBEAT,
+    OP_HELLO,
+    OP_JOIN,
+    OP_LEAVE,
+    OP_REPORT,
+    OP_RETIRE,
+    ClusterConfig,
+    worker_id,
+)
+from repro.cluster.transport import SharedMemoryTransport
+from repro.errors import GenerationFencedError, RendezvousError
+from repro.nn import MixedPrecisionAdam, TinyTransformerLM, lm_synthetic_batches
+from repro.nn.functional import cross_entropy
+
+
+def session_token(workdir: str) -> str:
+    """Short, run-stable tag scoping shared-memory segment names."""
+    return "rp" + hashlib.sha1(workdir.encode("utf-8")).hexdigest()[:8]
+
+
+# ----------------------------------------------------------------------
+# Coordinator client (control plane)
+# ----------------------------------------------------------------------
+class CoordinatorClient:
+    """The control connection: join, barriers, reports. Main thread only."""
+
+    def __init__(self, address, authkey: bytes, worker: str):
+        self.worker = worker
+        self._conn = Client(address, authkey=authkey)
+        self._conn.send({"op": OP_HELLO, "worker": worker, "kind": "control"})
+        self._conn.recv()
+
+    def call(self, op: str, **fields) -> dict:
+        self._conn.send({"op": op, "worker": self.worker, **fields})
+        return self._conn.recv()
+
+    def join(self, slot: int, incarnation: int) -> dict:
+        reply = self.call(OP_JOIN, slot=slot, incarnation=incarnation)
+        if not reply.get("ok") and not (
+            reply.get("closing") or reply.get("complete")
+        ):
+            raise RendezvousError(reply.get("error", "join rejected"))
+        return reply
+
+    def barrier(self, name: str, generation: int) -> dict:
+        reply = self.call(OP_BARRIER, name=name, generation=generation)
+        if not reply.get("ok"):
+            raise GenerationFencedError(generation, reply.get("reason"))
+        return reply
+
+    def close(self) -> None:
+        try:
+            self.call(OP_LEAVE)
+        except (EOFError, OSError):
+            pass
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+class HeartbeatPump:
+    """Dedicated heartbeat connection on its own thread.
+
+    Separate from the control connection so a worker blocked in a long
+    collective still proves liveness, and a SIGKILL drops both sockets
+    at once (the coordinator's fastest death signal).
+    """
+
+    def __init__(self, address, authkey: bytes, worker: str, interval: float):
+        self.worker = worker
+        self.interval = interval
+        self._conn = Client(address, authkey=authkey)
+        self._conn.send({"op": OP_HELLO, "worker": worker, "kind": "heartbeat"})
+        self._conn.recv()
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._step = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._pump, name=f"heartbeat-{worker}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def configure(self, generation: int, step: int) -> None:
+        with self._lock:
+            self._generation = generation
+            self._step = step
+
+    def advance(self, step: int) -> None:
+        with self._lock:
+            self._step = step
+
+    def _pump(self) -> None:
+        while not self._stop.wait(self.interval):
+            with self._lock:
+                generation, step = self._generation, self._step
+            try:
+                self._conn.send({
+                    "op": OP_HEARTBEAT,
+                    "worker": self.worker,
+                    "generation": generation,
+                    "step": step,
+                })
+                self._conn.recv()
+            except (EOFError, OSError):
+                return  # coordinator gone; the worker is exiting anyway
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# The ZeRO workload (shared with the sequential reference)
+# ----------------------------------------------------------------------
+def _build_model(config: ClusterConfig):
+    model = TinyTransformerLM(
+        vocab_size=config.vocab_size,
+        d_model=32,
+        d_ffn=64,
+        num_heads=4,
+        num_layers=config.layers,
+        max_seq=config.seq_len,
+        seed=config.seed,
+    )
+    params = model.parameters()
+    return model, params
+
+
+def make_batches(config: ClusterConfig) -> list:
+    """The run's deterministic batch stream; identical on every rank."""
+    return list(
+        lm_synthetic_batches(
+            config.vocab_size,
+            config.seq_len,
+            config.global_batch,
+            config.steps,
+            seed=config.seed + 1,
+        )
+    )
+
+
+def _flatten_params(params) -> np.ndarray:
+    return np.concatenate(
+        [p.data.reshape(-1).astype(np.float32) for p in params]
+    )
+
+
+def _assign_params(params, flat: np.ndarray) -> None:
+    offset = 0
+    for param in params:
+        size = param.data.size
+        param.data[...] = flat[offset:offset + size].reshape(param.data.shape)
+        offset += size
+
+
+def _shard_grads(model, params, batch, config: ClusterConfig, rank: int,
+                 world: int) -> tuple[float, np.ndarray]:
+    """Gradient sum and float64 loss sum over this rank's data shards."""
+    total = sum(p.data.size for p in params)
+    grad = np.zeros(total, dtype=np.float32)
+    loss_sum = 0.0
+    for shard in range(config.num_data_shards):
+        if shard % world != rank:
+            continue
+        lo = shard * config.shard_batch
+        hi = lo + config.shard_batch
+        logits = model(batch.inputs[lo:hi], config.mixed_precision)
+        loss = cross_entropy(logits, batch.targets[lo:hi])
+        model.zero_grad()
+        loss.backward()
+        offset = 0
+        for param in params:
+            if param.grad is not None:
+                grad[offset:offset + param.data.size] += param.grad.reshape(-1)
+            offset += param.data.size
+        loss_sum += loss.item()
+    return loss_sum, grad
+
+
+def run_cluster_reference(config: ClusterConfig) -> list[float]:
+    """Fault-free sequential run of the exact worker math.
+
+    One process, no transport: gradients of all data shards accumulate
+    in shard order, which is the same order a ``world == num_data_shards``
+    cluster reduces rank slots in — so the fault-free cluster run matches
+    this bit for bit, and degraded runs within tolerance.
+    """
+    model, params = _build_model(config)
+    master = _flatten_params(params)
+    moment_m = np.zeros_like(master)
+    moment_v = np.zeros_like(master)
+    adam = MixedPrecisionAdam([], lr=config.lr)
+    losses: list[float] = []
+    for step, batch in enumerate(make_batches(config)):
+        loss_sum, grad = _shard_grads(model, params, batch, config, 0, 1)
+        grad /= config.num_data_shards
+        adam.t = step + 1
+        adam._apply(master, grad, moment_m, moment_v)
+        _assign_params(params, master.astype(np.float16).astype(np.float32))
+        losses.append(loss_sum / config.num_data_shards)
+    return losses
+
+
+# ----------------------------------------------------------------------
+# The worker process
+# ----------------------------------------------------------------------
+def _maybe_kill(config: ClusterConfig, slot: int, incarnation: int,
+                step: int) -> None:
+    """SIGKILL mid-step if this life is the configured victim."""
+    if (
+        config.kill_rank is not None
+        and config.kill_at_step is not None
+        and slot == config.kill_rank
+        and incarnation == 0
+        and step == config.kill_at_step
+    ):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _save_group_checkpoint(workdir: str, transport, client, generation: int,
+                           rank: int, world: int, true_size: int,
+                           master: np.ndarray, moment_m: np.ndarray,
+                           moment_v: np.ndarray, completed: int, adam_t: int,
+                           losses: list[float]) -> None:
+    """All-gather full state; rank 0 persists it; everyone waits."""
+    arrays = {}
+    for name, shard in (("master", master), ("m", moment_m), ("v", moment_v)):
+        arrays[name] = np.concatenate(transport.all_gather(shard))[:true_size]
+    if rank == 0:
+        snapshot = Snapshot(arrays=arrays, metadata={
+            "step": completed,
+            "adam_t": adam_t,
+            "losses": losses,
+            "generation": generation,
+            "world": world,
+        })
+        save_snapshot(snapshot, snapshot_path(workdir, completed))
+    # Nobody proceeds (or retires) until the save is published.
+    client.barrier(f"ckpt{completed}", generation)
+
+
+def _run_generation(config: ClusterConfig, workdir: str,
+                    client: CoordinatorClient, pump: HeartbeatPump,
+                    transport, generation: int, rank: int, world: int,
+                    slot: int, incarnation: int) -> bool:
+    """Train within one generation. True = workload complete."""
+    model, params = _build_model(config)
+    true_size = sum(p.data.size for p in params)
+    batches = make_batches(config)
+
+    resumed = latest_good_snapshot(workdir)
+    if resumed is not None:
+        snapshot, _ = resumed
+        master = snapshot.arrays["master"].astype(np.float32)
+        moment_m = snapshot.arrays["m"].astype(np.float32)
+        moment_v = snapshot.arrays["v"].astype(np.float32)
+        adam_t = int(snapshot.metadata["adam_t"])
+        start = int(snapshot.metadata["step"])
+        losses = [float(x) for x in snapshot.metadata["losses"]]
+        _assign_params(params, master.astype(np.float16).astype(np.float32))
+    else:
+        master = _flatten_params(params)
+        moment_m = np.zeros_like(master)
+        moment_v = np.zeros_like(master)
+        adam_t = 0
+        start = 0
+        losses = []
+
+    # Elastic re-shard: slice the full state for *this* generation's world.
+    master_shard = split_even(master, world)[rank]
+    m_shard = split_even(moment_m, world)[rank]
+    v_shard = split_even(moment_v, world)[rank]
+    adam = MixedPrecisionAdam([], lr=config.lr)
+
+    for step in range(start, config.steps):
+        pump.advance(step)
+        if config.step_delay:
+            time.sleep(config.step_delay)
+        loss_sum, grad = _shard_grads(
+            model, params, batches[step], config, rank, world
+        )
+        _maybe_kill(config, slot, incarnation, step)
+        grad_shard = transport.reduce_scatter(grad)
+        grad_shard /= config.num_data_shards
+        adam_t += 1
+        adam.t = adam_t
+        adam._apply(master_shard, grad_shard, m_shard, v_shard)
+        param_shard = master_shard.astype(np.float16).astype(np.float32)
+        flat = np.concatenate(transport.all_gather(param_shard))[:true_size]
+        _assign_params(params, flat)
+        sums = transport.all_gather(np.array([loss_sum], dtype=np.float64))
+        step_loss = 0.0
+        for partial in sums:  # ascending rank order == shard order
+            step_loss += float(partial[0])
+        losses.append(step_loss / config.num_data_shards)
+
+        completed = step + 1
+        reply = client.barrier(f"step{step}", generation)
+        rejoin = bool(reply.get("rejoin")) and completed < config.steps
+        if completed % config.checkpoint_every == 0 or rejoin:
+            _save_group_checkpoint(
+                workdir, transport, client, generation, rank, world,
+                true_size, master_shard, m_shard, v_shard,
+                completed, adam_t, losses,
+            )
+        if rejoin:
+            # A joiner is waiting: checkpointed above, now re-form.
+            client.call(OP_RETIRE, generation=generation)
+            return False
+
+    client.call(OP_REPORT, payload={
+        "losses": losses,
+        "rank": rank,
+        "world": world,
+        "generation": generation,
+    })
+    client.call(OP_DONE)
+    return True
+
+
+def run_worker(config: ClusterConfig, address, authkey: bytes, workdir: str,
+               slot: int, incarnation: int) -> int:
+    """The worker's outer rendezvous loop; returns the exit code."""
+    me = worker_id(slot, incarnation)
+    try:
+        client = CoordinatorClient(address, authkey, me)
+        pump = HeartbeatPump(address, authkey, me, config.heartbeat_interval)
+    except (ConnectionError, FileNotFoundError, EOFError, OSError):
+        return 3  # coordinator already gone (e.g. respawned post-completion)
+    pump.start()
+    session = session_token(workdir)
+    try:
+        while True:
+            reply = client.join(slot, incarnation)
+            if not reply.get("ok"):
+                # The run finished (or is shutting down) without us.
+                return 0
+            generation = int(reply["generation"])
+            rank = int(reply["rank"])
+            world = int(reply["world"])
+            pump.configure(generation, 0)
+            transport = SharedMemoryTransport(
+                rank, world, generation, session,
+                barrier=lambda name, g=generation: client.barrier(name, g),
+                page_bytes=config.page_bytes,
+            )
+            try:
+                if _run_generation(
+                    config, workdir, client, pump, transport,
+                    generation, rank, world, slot, incarnation,
+                ):
+                    return 0
+            except GenerationFencedError:
+                # Survivor of a fenced generation: back to rendezvous.
+                # Brief pause lets the coordinator settle the eviction.
+                time.sleep(config.heartbeat_interval)
+                continue
+            finally:
+                transport.close()
+    finally:
+        pump.stop()
+        client.close()
+
+
+def worker_entry(config: ClusterConfig, address, authkey: bytes, workdir: str,
+                 slot: int, incarnation: int) -> None:
+    """Spawn-context process entry point."""
+    raise SystemExit(
+        run_worker(config, address, authkey, workdir, slot, incarnation)
+    )

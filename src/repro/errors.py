@@ -96,6 +96,38 @@ class RankFailedError(ReproError):
         super().__init__(f"rank {rank} failed{at}")
 
 
+class QueueClosedError(ConfigurationError):
+    """Work was submitted to (or awaited on) a queue that is closed.
+
+    Subclasses :class:`ConfigurationError` so pre-existing call sites that
+    caught the broad class keep working; new code can assert precisely.
+    """
+
+
+class ClusterError(ReproError):
+    """Base class for multi-process cluster membership failures."""
+
+
+class GenerationFencedError(ClusterError):
+    """The coordinator fenced this membership generation.
+
+    Raised on a worker when a barrier or collective observes that its
+    generation died (a peer was evicted, or a newer generation formed).
+    The only valid reaction is to abandon the in-flight step and
+    re-rendezvous for the next generation.
+    """
+
+    def __init__(self, generation: int, reason: str | None = None):
+        self.generation = generation
+        self.reason = reason
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"generation {generation} is fenced{detail}")
+
+
+class RendezvousError(ClusterError):
+    """Joining or forming a membership generation failed."""
+
+
 class RetryExhaustedError(ReproError):
     """A retried operation kept failing past its attempt/deadline budget.
 

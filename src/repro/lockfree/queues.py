@@ -12,7 +12,10 @@ a producer thread fills and one consumer thread drains, with
 - **close/abort** semantics that never strand a waiter: closing wakes
   every blocked ``get``; aborting drops queued work and releases every
   ``wait_key`` immediately (used when a tier dies and the queued writes
-  can no longer succeed).
+  can no longer succeed);
+- **bounded waits**: every blocking call accepts a ``timeout`` and
+  raises :class:`TimeoutError` instead of hanging forever on a producer
+  or consumer that died without closing the queue.
 
 All state transitions happen under one condition variable, so the class
 passes the repo's own concurrency lint (``repro check --self``).
@@ -23,7 +26,22 @@ from __future__ import annotations
 import threading
 from collections import deque
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, QueueClosedError
+
+
+def _await(cond: threading.Condition, predicate, timeout, what: str) -> None:
+    """Wait (under ``cond``) until ``predicate()``; bounded by ``timeout``.
+
+    A producer or consumer thread that died without closing the queue
+    used to strand its peers forever; every blocking wait now takes an
+    optional ``timeout`` in seconds and raises :class:`TimeoutError`
+    instead of hanging, keeping the caller's thread usable to report or
+    recover.
+    """
+    if timeout is not None and timeout < 0:
+        raise ConfigurationError("timeout must be >= 0 seconds")
+    if not cond.wait_for(predicate, timeout):
+        raise TimeoutError(f"timed out after {timeout}s waiting for {what}")
 
 
 class WorkQueue:
@@ -46,32 +64,57 @@ class WorkQueue:
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
-    def put(self, key, item) -> None:
-        """Enqueue ``item`` under ``key``; blocks while the queue is full."""
+    def put(self, key, item, timeout: float | None = None) -> None:
+        """Enqueue ``item`` under ``key``; blocks while the queue is full.
+
+        Raises :class:`TimeoutError` if the queue stays full past
+        ``timeout`` seconds (a dead consumer), and
+        :class:`~repro.errors.QueueClosedError` once closed.
+        """
         with self._cond:
-            while (
-                self._maxsize
-                and len(self._items) >= self._maxsize
-                and not self._closed
-            ):
-                self._cond.wait()
+            _await(
+                self._cond,
+                lambda: (
+                    not self._maxsize
+                    or len(self._items) < self._maxsize
+                    or self._closed
+                ),
+                timeout,
+                "queue capacity",
+            )
             if self._closed:
-                raise ConfigurationError("queue is closed")
+                raise QueueClosedError("queue is closed")
             self._items.append((key, item))
             self._pending[key] = self._pending.get(key, 0) + 1
             self._cond.notify_all()
 
-    def wait_key(self, key) -> None:
-        """Block until no queued or in-flight item carries ``key``."""
-        with self._cond:
-            while self._pending.get(key, 0) > 0:
-                self._cond.wait()
+    def wait_key(self, key, timeout: float | None = None) -> None:
+        """Block until no queued or in-flight item carries ``key``.
 
-    def wait_idle(self) -> None:
-        """Block until every item ever queued has been ``task_done``-ed."""
+        Raises :class:`TimeoutError` after ``timeout`` seconds — a
+        consumer that died without ``task_done`` must not hang callers.
+        """
         with self._cond:
-            while self._pending:
-                self._cond.wait()
+            _await(
+                self._cond,
+                lambda: self._pending.get(key, 0) <= 0,
+                timeout,
+                f"completion of {key!r}",
+            )
+
+    def wait_idle(self, timeout: float | None = None) -> None:
+        """Block until every item ever queued has been ``task_done``-ed.
+
+        Raises :class:`TimeoutError` after ``timeout`` seconds instead of
+        hanging on a dead consumer.
+        """
+        with self._cond:
+            _await(
+                self._cond,
+                lambda: not self._pending,
+                timeout,
+                "queue to go idle",
+            )
 
     # ------------------------------------------------------------------
     # Consumer side

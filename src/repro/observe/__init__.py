@@ -36,6 +36,7 @@ from repro.observe.watchdog import (
     Watchdog,
     WatchdogConfig,
     WaterlineRule,
+    WorkerLivenessRule,
     default_rules,
 )
 
@@ -61,5 +62,6 @@ __all__ = [
     "Watchdog",
     "WatchdogConfig",
     "WaterlineRule",
+    "WorkerLivenessRule",
     "default_rules",
 ]

@@ -15,7 +15,10 @@ Detectors shipped by :func:`default_rules`:
 - ``cache_thrash`` — windowed GPU-cache hit-rate collapse;
 - ``tier_bandwidth`` — per-(src, dst) edge traffic above budget;
 - ``waterline`` — GPU/tier headroom below margin (OOM near-miss);
-- ``retry_storm`` — transient-fault retries clustering in time.
+- ``retry_storm`` — transient-fault retries clustering in time;
+- ``worker_liveness`` — a cluster worker missing heartbeats (fed by the
+  ``cluster.heartbeat.*`` gauges the supervisor mirrors from the
+  coordinator; inert when no cluster is running).
 """
 
 from __future__ import annotations
@@ -60,6 +63,9 @@ class WatchdogConfig:
     retry_window: int = 8
     retry_storm_threshold: int = 6
     retry_storm_critical: int = 16
+    #: Missed heartbeats before a cluster worker alerts (warn / critical).
+    liveness_missed_warning: int = 1
+    liveness_missed_critical: int = 2
 
     def __post_init__(self) -> None:
         if self.update_interval < 1:
@@ -361,6 +367,67 @@ class RetryStormRule(Rule):
         )
 
 
+class WorkerLivenessRule(Rule):
+    """A cluster worker stopped heartbeating (crash/partition suspect).
+
+    The cluster supervisor mirrors the coordinator's failure-detector
+    view into ``cluster.heartbeat.missed{worker=...}`` gauges (plus
+    ``cluster.heartbeat.age_seconds``); this rule fires WARNING when any
+    worker misses a deadline and CRITICAL once the miss count reaches
+    the eviction territory. Runs without a cluster too — no gauges means
+    no alert.
+    """
+
+    name = "worker_liveness"
+    _PREFIX = "cluster.heartbeat.missed{"
+
+    def __init__(self, warning: int, critical: int, **kw):
+        super().__init__(**kw)
+        if not 1 <= warning <= critical:
+            raise ConfigurationError(
+                "need 1 <= liveness_missed_warning <= liveness_missed_critical"
+            )
+        self.warning = warning
+        self.critical = critical
+
+    @staticmethod
+    def _worker_of(key: str) -> str:
+        labels = dict(
+            part.split("=", 1)
+            for part in key[key.index("{") + 1:-1].split(",")
+        )
+        return labels.get("worker", "?")
+
+    def check(self, snapshot: StepSnapshot) -> Alert | None:
+        lagging: list[tuple[str, float]] = []
+        for key, missed in snapshot.gauges.items():
+            if key.startswith(self._PREFIX) and missed >= self.warning:
+                lagging.append((self._worker_of(key), float(missed)))
+        if not lagging:
+            return None
+        lagging.sort(key=lambda item: (-item[1], item[0]))
+        worst_worker, worst_missed = lagging[0]
+        severity = (
+            Severity.CRITICAL if worst_missed >= self.critical
+            else Severity.WARNING
+        )
+        return Alert(
+            rule=self.name,
+            severity=severity,
+            step=snapshot.step,
+            message=(
+                f"worker {worst_worker} missed {worst_missed:.0f} "
+                f"heartbeat(s) (evict threshold {self.critical}); "
+                f"{len(lagging)} worker(s) lagging"
+            ),
+            evidence={
+                "workers": {worker: missed for worker, missed in lagging},
+                "missed_warning": self.warning,
+                "missed_critical": self.critical,
+            },
+        )
+
+
 def default_rules(config: WatchdogConfig) -> list[Rule]:
     """The standard detector set, thresholds from ``config``."""
     return [
@@ -379,6 +446,9 @@ def default_rules(config: WatchdogConfig) -> list[Rule]:
         RetryStormRule(
             config.retry_window, config.retry_storm_threshold,
             config.retry_storm_critical,
+        ),
+        WorkerLivenessRule(
+            config.liveness_missed_warning, config.liveness_missed_critical,
         ),
     ]
 

@@ -22,11 +22,16 @@ on a :class:`~repro.runtime.events.EventBus`.
 from __future__ import annotations
 
 import os
-import re
 from dataclasses import dataclass, field
 
 from repro.checkpoint.reshard import ShardedCheckpoint, reshard
-from repro.checkpoint.snapshot import Snapshot, load_snapshot, save_snapshot
+from repro.checkpoint.snapshot import (
+    Snapshot,
+    latest_good_snapshot,
+    list_snapshots,
+    save_snapshot,
+    snapshot_path,
+)
 from repro.checkpoint.trainer_state import capture_engine_state, restore_engine_state
 from repro.errors import (
     CheckpointError,
@@ -39,8 +44,6 @@ from repro.hardware.device import DeviceKind
 from repro.metrics import FaultCounters
 from repro.resilience.retry import RetryPolicy
 from repro.runtime.events import EventBus
-
-_CKPT_PATTERN = re.compile(r"^ckpt-(\d+)\.npz$")
 
 
 @dataclass
@@ -113,14 +116,11 @@ class ResilientTrainer:
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
-    def _checkpoint_path(self, step: int) -> str:
-        return os.path.join(self.checkpoint_dir, f"ckpt-{step:06d}.npz")
-
     def save_checkpoint(self, engine, step: int) -> str:
         """Capture the engine's paged state and persist it atomically."""
         snapshot = self._retry.run(lambda: capture_engine_state(engine, step=step))
         snapshot.metadata["world_size"] = self.world_size
-        path = self._checkpoint_path(step)
+        path = snapshot_path(self.checkpoint_dir, step)
         save_snapshot(snapshot, path)
         self.counters.checkpoints_saved += 1
         # Event names carry the save sequence number, not the step — a
@@ -132,29 +132,18 @@ class ResilientTrainer:
         self._prune_checkpoints()
         return path
 
-    def _list_checkpoints(self) -> list[tuple[int, str]]:
-        """(step, path) pairs on disk, newest first."""
-        found = []
-        for name in os.listdir(self.checkpoint_dir):
-            match = _CKPT_PATTERN.match(name)
-            if match:
-                found.append((int(match.group(1)), os.path.join(self.checkpoint_dir, name)))
-        return sorted(found, reverse=True)
-
     def _prune_checkpoints(self) -> None:
-        for _, path in self._list_checkpoints()[self.keep_checkpoints:]:
+        for _, path in list_snapshots(self.checkpoint_dir)[self.keep_checkpoints:]:
             os.unlink(path)
 
     def latest_good_checkpoint(self) -> tuple[Snapshot, int]:
         """Newest checkpoint whose checksums verify; skips corrupt files."""
-        for step, path in self._list_checkpoints():
-            try:
-                return load_snapshot(path), step
-            except CheckpointError:
-                continue
-        raise CheckpointError(
-            f"no restorable checkpoint under {self.checkpoint_dir!r}"
-        )
+        found = latest_good_snapshot(self.checkpoint_dir)
+        if found is None:
+            raise CheckpointError(
+                f"no restorable checkpoint under {self.checkpoint_dir!r}"
+            )
+        return found
 
     # ------------------------------------------------------------------
     # Recovery ladder

@@ -327,13 +327,18 @@ class WritebackQueue:
     sweep instead of ballooning host memory.
     """
 
-    def __init__(self, io_fn, telemetry=None, maxsize: int = 64):
+    def __init__(self, io_fn, telemetry=None, maxsize: int = 64,
+                 wait_timeout: float | None = 60.0):
         if telemetry is None:
             from repro.telemetry.core import NULL_TELEMETRY
 
             telemetry = NULL_TELEMETRY
         self.telemetry = telemetry
         self._io_fn = io_fn
+        #: Default bound on wait()/barrier(): a writer thread that died
+        #: without closing the queue surfaces as TimeoutError at the
+        #: next sweep instead of a permanent hang.
+        self._wait_timeout = wait_timeout
         self._queue = WorkQueue(maxsize=maxsize)
         #: Guards the error slot and counters (repro check --self).
         self._cond = threading.Condition()
@@ -386,14 +391,34 @@ class WritebackQueue:
         self._queue.put(key, fn)
         self._depth.set(len(self._queue))
 
-    def wait(self, key) -> None:
-        """Read-your-writes: block until ``key``'s flushes landed."""
-        self._queue.wait_key(key)
+    def wait(self, key, timeout: float | None = None) -> None:
+        """Read-your-writes: block until ``key``'s flushes landed.
+
+        Bounded by ``timeout`` (default: the queue's ``wait_timeout``);
+        raises :class:`TimeoutError` instead of hanging on a dead writer.
+        """
+        try:
+            self._queue.wait_key(
+                key, timeout if timeout is not None else self._wait_timeout
+            )
+        except TimeoutError:
+            self.raise_if_failed()  # a captured writer error is the cause
+            raise
         self.raise_if_failed()
 
-    def barrier(self) -> None:
-        """Block until every submitted write landed (close/checkpoint)."""
-        self._queue.wait_idle()
+    def barrier(self, timeout: float | None = None) -> None:
+        """Block until every submitted write landed (close/checkpoint).
+
+        Bounded like :meth:`wait`; raises :class:`TimeoutError` instead
+        of hanging forever.
+        """
+        try:
+            self._queue.wait_idle(
+                timeout if timeout is not None else self._wait_timeout
+            )
+        except TimeoutError:
+            self.raise_if_failed()
+            raise
         self.raise_if_failed()
 
     def abort(self) -> int:
@@ -404,7 +429,7 @@ class WritebackQueue:
         cannot rebuild. Returns the number of writes dropped.
         """
         dropped = len(self._queue.abort())
-        self._queue.wait_idle()
+        self._queue.wait_idle(self._wait_timeout)
         return dropped
 
     def raise_if_failed(self) -> None:

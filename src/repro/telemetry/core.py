@@ -90,6 +90,32 @@ class Telemetry:
             return
         self.registry.counter("pipeline.prefetch", outcome=outcome).inc()
 
+    def record_heartbeat(self, worker: str, age_seconds: float,
+                         missed: int) -> None:
+        """One worker's failure-detector view: heartbeat age and misses.
+
+        Mirrored by the cluster supervisor from the coordinator's
+        ``stats`` RPC; the ``worker_liveness`` watchdog rule reads the
+        ``cluster.heartbeat.missed`` gauges.
+        """
+        if not self.enabled:
+            return
+        self.registry.gauge(
+            "cluster.heartbeat.age_seconds", worker=worker
+        ).set(age_seconds)
+        self.registry.gauge(
+            "cluster.heartbeat.missed", worker=worker
+        ).set(missed)
+
+    def record_membership(self, generation: int, size: int,
+                          evictions: int) -> None:
+        """The cluster's current generation, its size, and total evictions."""
+        if not self.enabled:
+            return
+        self.registry.gauge("cluster.membership.generation").set(generation)
+        self.registry.gauge("cluster.membership.size").set(size)
+        self.registry.gauge("cluster.membership.evictions").set(evictions)
+
     def record_stall(self, edge: str, seconds: float) -> None:
         """Compute blocked waiting for the pipeline on one tier edge."""
         if not self.enabled or seconds <= 0:

@@ -1,18 +1,35 @@
-"""Ring-collective cost models (NCCL-style, Section 5's Communicator).
+"""Ring-collective cost models and the data-plane ``Transport`` contract.
 
-Standard ring-algorithm arithmetic: moving a logical buffer of ``B`` bytes
-among ``N`` ranks costs ``B * (N - 1) / N`` bytes on the busiest link, so
-``t = B * (N - 1) / N / busbw + hops * latency``. Within one server the bus
-bandwidth is NVLink; across servers the ring crosses the per-server NIC,
-which ``gpus_per_server`` ranks share.
+Two halves of Section 5's Communicator live here:
+
+- :class:`CollectiveModel` — the *cost* side (NCCL-style ring
+  arithmetic): moving a logical buffer of ``B`` bytes among ``N`` ranks
+  costs ``B * (N - 1) / N`` bytes on the busiest link, so
+  ``t = B * (N - 1) / N / busbw + hops * latency``. Within one server the
+  bus bandwidth is NVLink; across servers the ring crosses the per-server
+  NIC, which ``gpus_per_server`` ranks share.
+
+- :class:`Transport` — the *data* side: the pluggable collective
+  interface trainer ranks actually exchange bytes through. Transfers are
+  page-granular (the unit of inter-process traffic, per §4.1 and
+  PatrickStar), and reductions sum rank slots in ascending rank order so
+  every implementation is deterministic. :class:`InProcessGroup` backs
+  single-process ranks (threads or the sequential reference loop);
+  :class:`repro.cluster.transport.SharedMemoryTransport` carries the same
+  contract across real OS processes via ``multiprocessing.shared_memory``.
 """
 
 from __future__ import annotations
 
+import abc
+import threading
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import CommunicationError
 from repro.hardware.cluster import ClusterSpec
+from repro.units import KiB
 
 
 @dataclass(frozen=True)
@@ -107,3 +124,171 @@ class CollectiveModel:
         local_time = wire_bytes * local / server.nvlink.bandwidth
         remote_time = remote_bytes / nic_per_rank
         return local_time + remote_time + server.nic.latency
+
+
+# ----------------------------------------------------------------------
+# The data plane: pluggable Transport
+# ----------------------------------------------------------------------
+def shard_length(num_elements: int, world: int) -> int:
+    """Per-rank shard length under ZeRO's even split (tail padded)."""
+    if world <= 0:
+        raise CommunicationError("world must be positive")
+    return -(-num_elements // world)  # ceil
+
+
+def copy_pages(dst: np.ndarray, src: np.ndarray, page_bytes: int) -> int:
+    """Copy ``src`` into ``dst`` one page-sized chunk at a time.
+
+    Pages are the unit of inter-process traffic (§4.1): every transport
+    moves data through this loop so accounting and chunking stay uniform
+    regardless of the backing medium. Returns the number of pages moved.
+    """
+    if dst.shape != src.shape:
+        raise CommunicationError(
+            f"page copy shape mismatch: {dst.shape} vs {src.shape}"
+        )
+    per_page = max(1, page_bytes // max(1, dst.itemsize))
+    pages = 0
+    for start in range(0, dst.size, per_page):
+        dst[start:start + per_page] = src[start:start + per_page]
+        pages += 1
+    return pages
+
+
+class Transport(abc.ABC):
+    """Deterministic rank-to-rank collectives over flat numpy vectors.
+
+    The contract every implementation honors:
+
+    - ``all_gather(shard)`` — every rank contributes an equal-length 1-D
+      array and receives the list of all ranks' arrays, indexed by rank.
+    - ``reduce_scatter(full)`` — every rank contributes a full-length
+      vector; rank ``r`` receives the elementwise sum of everyone's
+      ``r``-th even-split slice (zero-padded tail, matching
+      :func:`repro.checkpoint.reshard.split_even`). Summation runs in
+      ascending rank order, so results are bit-reproducible.
+
+    Data moves page by page (:func:`copy_pages`); implementations report
+    traffic through the shared telemetry vocabulary
+    (``collective.*_bytes`` plus ``transport.pages``).
+    """
+
+    def __init__(self, rank: int, world: int, page_bytes: int = 64 * KiB,
+                 telemetry=None):
+        if world <= 0 or not 0 <= rank < world:
+            raise CommunicationError(
+                f"rank {rank} outside a world of {world}"
+            )
+        if page_bytes <= 0:
+            raise CommunicationError("page_bytes must be positive")
+        if telemetry is None:
+            from repro.telemetry.core import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self.rank = rank
+        self.world = world
+        self.page_bytes = page_bytes
+        self.telemetry = telemetry
+
+    @abc.abstractmethod
+    def all_gather(self, shard: np.ndarray) -> list[np.ndarray]:
+        """Return every rank's ``shard``, indexed by rank."""
+
+    @abc.abstractmethod
+    def reduce_scatter(self, full: np.ndarray) -> np.ndarray:
+        """Return this rank's shard of the elementwise sum of ``full``."""
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        """Release transport resources (idempotent)."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def pad_full(self, full: np.ndarray) -> np.ndarray:
+        """Zero-pad a full vector to ``world * shard_length`` elements."""
+        if full.ndim != 1:
+            raise CommunicationError("transports operate on flat vectors")
+        length = shard_length(full.size, self.world)
+        padded = np.zeros(length * self.world, dtype=full.dtype)
+        padded[:full.size] = full
+        return padded
+
+    def _account(self, kind: str, nbytes: int, pages: int) -> None:
+        if not self.telemetry.enabled:
+            return
+        self.telemetry.record_collective(kind, nbytes)
+        self.telemetry.counter("transport.pages", kind=kind).inc(pages)
+
+
+class InProcessGroup:
+    """A world of :class:`InProcessTransport` ranks in one process.
+
+    Ranks run as threads (tests, the threaded trainer); a shared slot
+    board plus a cyclic :class:`threading.Barrier` sequence the exchange.
+    Deadline-bounded: a rank that never arrives breaks the barrier and
+    every peer raises :class:`~repro.errors.CommunicationError` instead
+    of hanging.
+    """
+
+    def __init__(self, world: int, page_bytes: int = 64 * KiB,
+                 telemetry=None, timeout: float | None = 30.0):
+        if world <= 0:
+            raise CommunicationError("world must be positive")
+        self.world = world
+        self.page_bytes = page_bytes
+        self.telemetry = telemetry
+        self.timeout = timeout
+        self._slots: list = [None] * world
+        self._barrier = threading.Barrier(world)
+
+    def transport(self, rank: int) -> "InProcessTransport":
+        return InProcessTransport(rank, self, self.page_bytes, self.telemetry)
+
+    def _sync(self) -> None:
+        try:
+            self._barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError as exc:
+            raise CommunicationError(
+                "in-process collective aborted: a rank never arrived"
+            ) from exc
+
+
+class InProcessTransport(Transport):
+    """One rank's view of an :class:`InProcessGroup`."""
+
+    def __init__(self, rank: int, group: InProcessGroup, page_bytes: int,
+                 telemetry=None):
+        super().__init__(rank, group.world, page_bytes, telemetry)
+        self._group = group
+
+    def all_gather(self, shard: np.ndarray) -> list[np.ndarray]:
+        staged = np.empty_like(shard)
+        pages = copy_pages(staged, shard, self.page_bytes)
+        self._group._slots[self.rank] = staged
+        self._group._sync()  # every slot published
+        gathered = []
+        for rank in range(self.world):
+            source = self._group._slots[rank]
+            out = np.empty_like(source)
+            pages += copy_pages(out, source, self.page_bytes)
+            gathered.append(out)
+        self._group._sync()  # every rank done reading; slots reusable
+        self._account("all_gather", shard.nbytes * self.world, pages)
+        return gathered
+
+    def reduce_scatter(self, full: np.ndarray) -> np.ndarray:
+        padded = self.pad_full(full)
+        length = padded.size // self.world
+        self._group._slots[self.rank] = padded
+        self._group._sync()
+        lo, hi = self.rank * length, (self.rank + 1) * length
+        acc = np.zeros(length, dtype=padded.dtype)
+        pages = 0
+        for rank in range(self.world):  # ascending: deterministic sum
+            slice_r = self._group._slots[rank][lo:hi]
+            staged = np.empty_like(slice_r)
+            pages += copy_pages(staged, slice_r, self.page_bytes)
+            acc += staged
+        self._group._sync()
+        self._account("reduce_scatter", full.nbytes, pages)
+        return acc

@@ -20,6 +20,7 @@ from repro.observe import (
     Watchdog,
     WatchdogConfig,
     WaterlineRule,
+    WorkerLivenessRule,
     alert_from_dict,
     compare,
     degrade_recommendation,
@@ -169,6 +170,33 @@ class TestRules:
         assert rule.evaluate(snap(2, memory=warn)) == []  # cooldown
         assert rule.evaluate(snap(3, memory=crit))  # escalation bypasses
         assert rule.evaluate(snap(10, memory=warn))  # cooldown expired
+
+    def test_worker_liveness_quiet_without_cluster_gauges(self):
+        rule = WorkerLivenessRule(warning=1, critical=2)
+        assert rule.evaluate(snap(1)) == []
+        assert rule.evaluate(
+            snap(2, gauges={"cluster.heartbeat.missed{worker=w0i0}": 0})
+        ) == []
+
+    def test_worker_liveness_warns_then_escalates(self):
+        rule = WorkerLivenessRule(warning=1, critical=2)
+        fired = rule.evaluate(
+            snap(3, gauges={"cluster.heartbeat.missed{worker=w1i0}": 1})
+        )
+        assert fired and fired[0].severity is Severity.WARNING
+        assert "w1i0" in fired[0].message
+        fired = rule.evaluate(
+            snap(9, gauges={
+                "cluster.heartbeat.missed{worker=w1i0}": 2,
+                "cluster.heartbeat.missed{worker=w2i0}": 1,
+            })
+        )
+        assert fired and fired[0].severity is Severity.CRITICAL
+        assert fired[0].evidence["workers"] == {"w1i0": 2.0, "w2i0": 1.0}
+
+    def test_worker_liveness_validates_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            WorkerLivenessRule(warning=3, critical=2)
 
     def test_config_validation(self):
         with pytest.raises(ConfigurationError):

@@ -283,6 +283,36 @@ class TestWorkQueue:
         queue.wait_key("a")  # returns immediately: nothing pending
         queue.close()
 
+    def test_wait_key_times_out_on_dead_consumer(self):
+        queue = WorkQueue()
+        queue.put("a", 1)
+        with pytest.raises(TimeoutError, match="completion of 'a'"):
+            queue.wait_key("a", timeout=0.05)
+        queue.close()
+
+    def test_put_times_out_when_full(self):
+        queue = WorkQueue(maxsize=1)
+        queue.put("a", 1)
+        with pytest.raises(TimeoutError, match="queue capacity"):
+            queue.put("b", 2, timeout=0.05)
+        queue.close()
+
+    def test_wait_idle_times_out_then_succeeds(self):
+        queue = WorkQueue()
+        queue.put("a", 1)
+        with pytest.raises(TimeoutError):
+            queue.wait_idle(timeout=0.05)
+        queue.get()
+        queue.task_done("a")
+        queue.wait_idle(timeout=5)
+        queue.close()
+
+    def test_negative_timeout_rejected(self):
+        queue = WorkQueue()
+        with pytest.raises(ConfigurationError):
+            queue.wait_idle(timeout=-1)
+        queue.close()
+
 
 class TestWritebackQueue:
     def test_flushes_and_barrier(self):
@@ -311,6 +341,17 @@ class TestWritebackQueue:
         gate.set()
         queue.wait("x")
         assert landed == ["x"]
+        queue.close()
+
+    def test_wait_times_out_on_stuck_io(self):
+        gate = threading.Event()
+        queue = WritebackQueue(lambda fn: gate.wait(timeout=5) and fn())
+        queue.start()
+        queue.submit("x", lambda: None)
+        with pytest.raises(TimeoutError):
+            queue.wait("x", timeout=0.05)
+        gate.set()
+        queue.wait("x", timeout=5)
         queue.close()
 
     def test_worker_error_surfaces_on_next_submit(self):
