@@ -49,16 +49,14 @@ def chaos(config=None, workdir=None, telemetry=None):
     """Run the fault-injection harness; returns a ``ChaosReport``.
 
     ``config`` is a :class:`repro.resilience.ChaosConfig`; ``workdir``
-    holds checkpoints (a fresh temp dir when omitted).
+    holds checkpoints. Explicit ``workdir``/``telemetry`` arguments win,
+    then the config's own ``workdir``/``telemetry`` fields, then a fresh
+    temp dir — so a fully-packed config object is honored as-is.
     """
-    import tempfile
-
     from repro.resilience import ChaosConfig, run_chaos
 
     if config is None:
         config = ChaosConfig()
-    if workdir is None:
-        workdir = tempfile.mkdtemp(prefix="repro-chaos-")
     return run_chaos(config, workdir, telemetry=telemetry)
 
 
@@ -69,17 +67,49 @@ def cluster(config=None, workdir=None, telemetry=None):
     processes, rendezvous coordinator, heartbeat failure detection, and
     (when ``kill_rank``/``kill_at_step`` are set) a SIGKILL mid-step with
     checkpointed recovery. ``workdir`` holds checkpoints and the
-    membership event log (a fresh temp dir when omitted).
+    membership event log. Explicit ``workdir``/``telemetry`` arguments
+    win, then the config's own fields, then a fresh temp dir.
     """
-    import tempfile
-
     from repro.cluster import ClusterConfig, run_cluster
 
     if config is None:
         config = ClusterConfig()
-    if workdir is None:
-        workdir = tempfile.mkdtemp(prefix="repro-cluster-")
     return run_cluster(config, workdir, telemetry=telemetry)
+
+
+def fleet(config=None, workdir=None, telemetry=None, jobs=None):
+    """Run the multi-tenant fleet gateway; returns a ``FleetReport``.
+
+    ``config`` is a :class:`repro.fleet.FleetConfig` — a deterministic
+    traffic stream of training jobs admitted onto simulated nodes under
+    fair-share scheduling, per-tenant page quotas and checkpoint-based
+    preemption. ``workdir`` holds per-job preemption snapshots; ``jobs``
+    (a list of :class:`repro.fleet.JobSpec`) replaces the generated
+    traffic when given. Resolution order matches :func:`cluster`:
+    explicit argument, then config field, then a fresh temp dir.
+    """
+    from dataclasses import replace
+
+    from repro.fleet import FleetConfig, FleetGateway
+
+    if config is None:
+        config = FleetConfig()
+    if telemetry is not None:
+        config = replace(config, telemetry=telemetry)
+    gateway = FleetGateway(config, workdir=workdir)
+    return gateway.run(jobs=jobs)
+
+
+def fleet_bench(config=None, telemetry=None):
+    """Run the fleet benchmark; returns ``(payload, report)``.
+
+    The payload dict is what ``repro fleet bench`` writes to
+    ``BENCH_fleet.json``: jobs/hour, p99 queue latency, preemption
+    events, per-tenant fairness, and the full per-job ledger.
+    """
+    from repro.fleet import run_fleet_bench
+
+    return run_fleet_bench(config, telemetry=telemetry)
 
 
 def report(bench, out, trace=None, html=False):
@@ -119,6 +149,8 @@ __all__ = [
     "chaos",
     "check",
     "cluster",
+    "fleet",
+    "fleet_bench",
     "initialize",
     "profile",
     "report",

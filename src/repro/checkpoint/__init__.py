@@ -14,7 +14,15 @@ package serves:
   re-sharded and restored onto any other rank count.
 """
 
-from repro.checkpoint.snapshot import Snapshot, load_snapshot, save_snapshot
+from repro.checkpoint.snapshot import (
+    Snapshot,
+    latest_good_snapshot,
+    list_snapshots,
+    load_snapshot,
+    prune_snapshots,
+    save_snapshot,
+    snapshot_path,
+)
 from repro.checkpoint.trainer_state import (
     capture_engine_state,
     capture_training_state,
@@ -27,6 +35,10 @@ __all__ = [
     "Snapshot",
     "save_snapshot",
     "load_snapshot",
+    "latest_good_snapshot",
+    "list_snapshots",
+    "prune_snapshots",
+    "snapshot_path",
     "capture_training_state",
     "restore_training_state",
     "capture_engine_state",

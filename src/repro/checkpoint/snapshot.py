@@ -106,6 +106,21 @@ def list_snapshots(directory: str) -> list[tuple[int, str]]:
     return sorted(found, reverse=True)
 
 
+def prune_snapshots(directory: str, keep: int) -> list[str]:
+    """Delete all but the ``keep`` newest snapshots; returns removed paths.
+
+    A preempted fleet job checkpoints on every eviction, so an unlucky
+    job could otherwise litter its workdir with one file per preemption.
+    """
+    if keep < 1:
+        raise CheckpointError("must keep at least one snapshot")
+    removed = []
+    for _, path in list_snapshots(directory)[keep:]:
+        os.unlink(path)
+        removed.append(path)
+    return removed
+
+
 def latest_good_snapshot(directory: str) -> tuple[Snapshot, int] | None:
     """Newest snapshot whose checksums verify, or ``None`` if none does.
 

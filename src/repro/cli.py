@@ -94,14 +94,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.engine.angel import AngelConfig, initialize
-    from repro.nn import MixedPrecisionAdam, TinyTransformerLM, lm_synthetic_batches
+    from repro.engine.angel import AngelConfig
+    from repro.fleet.factory import JobFactory, JobWorkload
 
-    model = TinyTransformerLM(
-        vocab_size=32, d_model=32, d_ffn=64, num_heads=4,
-        num_layers=args.layers, max_seq=16, seed=args.seed,
+    factory = JobFactory(
+        JobWorkload(layers=args.layers, lr=args.lr, seed=args.seed)
     )
-    optimizer = MixedPrecisionAdam(model.parameters(), lr=args.lr)
     config = AngelConfig(
         gpu_memory_bytes=args.gpu_mib * MiB,
         cpu_memory_bytes=64 * MiB,
@@ -111,11 +109,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         update_interval=4 if args.lock_free else 1,
         pipeline=args.pipeline,
     )
-    engine = initialize(model, optimizer, config)
+    engine = factory.engine(config)
     losses = []
-    for step, batch in enumerate(
-        lm_synthetic_batches(32, 16, 8, args.steps, seed=args.seed + 1)
-    ):
+    for step, batch in enumerate(factory.batches(args.steps)):
         loss = engine(batch)
         engine.backward(loss)
         engine.step()
@@ -239,6 +235,94 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_bench(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.fleet import (
+        FleetConfig,
+        TrafficConfig,
+        run_fleet_bench,
+        save_fleet_bench,
+    )
+
+    if args.jobs < 1:
+        print("fleet: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.nodes < 1:
+        print("fleet: --nodes must be >= 1", file=sys.stderr)
+        return 2
+    config = FleetConfig(
+        seed=args.seed,
+        traffic=TrafficConfig(seed=args.seed, num_jobs=args.jobs),
+        num_nodes=args.nodes,
+    )
+    if args.workdir:
+        config = replace(config, workdir=args.workdir)
+    payload, report = run_fleet_bench(config)
+
+    fleet = payload["fleet"]
+    print(f"traffic         : {fleet['jobs_submitted']} job(s), seed "
+          f"{args.seed}, {args.nodes} node(s)")
+    print(f"completed       : {fleet['jobs_completed']}"
+          f"/{fleet['jobs_submitted']} "
+          f"in {fleet['makespan_seconds']:.1f} virtual s")
+    print(f"throughput      : {fleet['jobs_per_hour']:.1f} jobs/hour")
+    print(f"p99 queue wait  : {fleet['p99_queue_latency_seconds']:.3f} s")
+    print(f"preemptions     : {fleet['preemptions']}")
+    fairness = fleet.get("fairness") or {}
+    per_tenant = fairness.get("per_tenant_service_seconds") or {}
+    if per_tenant:
+        print("tenant service  :")
+        for tenant, seconds in sorted(per_tenant.items()):
+            print(f"  {tenant:<8} {seconds:8.1f} virtual s")
+        print(f"fairness        : max/min service ratio "
+              f"{fairness.get('max_min_ratio', 0.0):.2f}")
+    for event in payload.get("preemption_events", []):
+        print(f"  t={event['time']:.1f}: job {event['victim']} "
+              f"({event['victim_tenant']}, prio {event['victim_priority']}) "
+              f"preempted at step {event['at_step']} by job "
+              f"{event['by_job']} (prio {event['by_priority']}) "
+              f"on {event['node']}")
+
+    # Default outdir is the repo root, matching `repro profile`, so CI's
+    # fleet-smoke job leaves BENCH_fleet.json at the top level.
+    outdir = Path(args.outdir) if args.outdir else _repo_root()
+    outdir.mkdir(parents=True, exist_ok=True)
+    bench_path = outdir / "BENCH_fleet.json"
+    save_fleet_bench(payload, bench_path)
+    print(f"wrote           : {bench_path}")
+    if args.report:
+        from repro.observe.report import write_report
+
+        written = write_report(
+            payload, outdir / "fleet_run_report.md",
+            html=True, title="Fleet run report",
+        )
+        for path in written:
+            print(f"wrote           : {path}")
+
+    failures = []
+    if fleet["jobs_per_hour"] <= 0:
+        failures.append("jobs/hour is zero — nothing completed")
+    if fleet["jobs_completed"] < fleet["jobs_submitted"]:
+        failures.append(
+            f"only {fleet['jobs_completed']}/{fleet['jobs_submitted']} "
+            f"job(s) completed"
+        )
+    if fleet["preemptions"] < args.min_preemptions:
+        failures.append(
+            f"{fleet['preemptions']} preemption(s) < required "
+            f"{args.min_preemptions}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"fleet: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("verdict         : fleet bench gates passed")
+    return 0
+
+
 def _live_engine_plan():
     """Train the tiny pipelined workload and return (plan, gpu_budget).
 
@@ -246,20 +330,16 @@ def _live_engine_plan():
     the live prefetch worker consumed, not a re-plan — so the verifier
     certifies what actually ran.
     """
-    from repro.engine.angel import AngelConfig, initialize
-    from repro.nn import MixedPrecisionAdam, TinyTransformerLM, lm_synthetic_batches
+    from repro.engine.angel import AngelConfig
+    from repro.fleet.factory import JobFactory
 
-    model = TinyTransformerLM(
-        vocab_size=32, d_model=32, d_ffn=64, num_heads=4,
-        num_layers=2, max_seq=16, seed=0,
-    )
-    optimizer = MixedPrecisionAdam(model.parameters(), lr=2e-3)
+    factory = JobFactory()
     config = AngelConfig(
         gpu_memory_bytes=4 * MiB, cpu_memory_bytes=64 * MiB,
         page_bytes=64 * KiB, pipeline=True,
     )
-    with initialize(model, optimizer, config) as engine:
-        for batch in lm_synthetic_batches(32, 16, 8, 3, seed=1):
+    with factory.engine(config) as engine:
+        for batch in factory.batches(3):
             loss = engine(batch)
             engine.backward(loss)
             engine.step()
@@ -797,6 +877,33 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--json", action="store_true",
                        help="print the machine-readable result instead")
     check.set_defaults(func=_cmd_check)
+
+    fleet = sub.add_parser(
+        "fleet", help="multi-tenant control plane (repro.fleet)"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_bench = fleet_sub.add_parser(
+        "bench",
+        help="run the deterministic fleet benchmark -> BENCH_fleet.json",
+    )
+    fleet_bench.add_argument("--seed", type=int, default=7,
+                             help="traffic seed (default 7, the CI stream)")
+    fleet_bench.add_argument("--jobs", type=int, default=12,
+                             help="jobs in the generated traffic stream")
+    fleet_bench.add_argument("--nodes", type=int, default=2,
+                             help="simulated nodes in the fleet")
+    fleet_bench.add_argument("--workdir", default=None,
+                             help="directory for preemption snapshots "
+                                  "(default: fresh temp dir)")
+    fleet_bench.add_argument("--outdir", default=None,
+                             help="where BENCH_fleet.json lands "
+                                  "(default: repo root)")
+    fleet_bench.add_argument("--report", action="store_true",
+                             help="also render fleet_run_report.md/.html")
+    fleet_bench.add_argument("--min-preemptions", type=int, default=0,
+                             help="fail unless at least this many "
+                                  "preemptions occurred")
+    fleet_bench.set_defaults(func=_cmd_fleet_bench)
 
     report = sub.add_parser(
         "report", help="render or compare run reports (repro.observe)"

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.protocols import TelemetryLike
 from repro.units import KiB
 
 
@@ -63,6 +64,16 @@ class ClusterConfig:
     max_respawns: int = 2
     respawn_delay: float = 0.05
     run_timeout: float = 120.0
+
+    # Supervisor-side resources. Both live only in the supervisor
+    # process: ``workdir`` is where checkpoints and the membership event
+    # log land (a fresh temp dir when omitted), and ``telemetry`` is the
+    # sink that membership/heartbeat gauges mirror into. The config is
+    # pickled to spawned coordinator/worker processes, so the supervisor
+    # strips ``telemetry`` (not picklable, and meaningless off-process)
+    # before any spawn.
+    workdir: str | None = None
+    telemetry: TelemetryLike | None = None
 
     @property
     def num_data_shards(self) -> int:

@@ -27,7 +27,7 @@ import multiprocessing
 import os
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing.connection import Client
 
 from repro.cluster.coordinator import coordinator_main
@@ -123,9 +123,24 @@ def _read_events(workdir: str) -> list[dict]:
     return events
 
 
-def run_cluster(config: ClusterConfig, workdir: str,
+def run_cluster(config: ClusterConfig, workdir: str | None = None,
                 telemetry=None, watchdog=None) -> ClusterReport:
-    """Run one elastic training job with real worker processes."""
+    """Run one elastic training job with real worker processes.
+
+    ``workdir``/``telemetry`` resolve explicit argument first, then the
+    matching ``config`` field, then (for ``workdir``) a fresh temp dir —
+    so a caller who packed everything into the config object gets the
+    directory and sink they asked for.
+    """
+    if workdir is None:
+        workdir = config.workdir
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-cluster-")
+    if telemetry is None:
+        telemetry = config.telemetry
+    # The config crosses the process boundary by pickle; the telemetry
+    # sink must not (it is live supervisor state).
+    spawn_config = replace(config, telemetry=None)
     os.makedirs(workdir, exist_ok=True)
     # AF_UNIX socket paths are length-limited (~108 bytes); anchor the
     # rendezvous address in tmp, scoped by pid + workdir hash.
@@ -143,7 +158,7 @@ def run_cluster(config: ClusterConfig, workdir: str,
 
     coordinator = ctx.Process(
         target=coordinator_main,
-        args=(config, address, authkey, workdir),
+        args=(spawn_config, address, authkey, workdir),
         name="cluster-coordinator",
         daemon=True,
     )
@@ -159,7 +174,7 @@ def run_cluster(config: ClusterConfig, workdir: str,
         for slot in range(config.world_size):
             incarnations[slot] = 0
             workers[slot] = _spawn_worker(
-                ctx, config, address, authkey, workdir, slot, 0
+                ctx, spawn_config, address, authkey, workdir, slot, 0
             )
 
         while time.monotonic() < deadline:
@@ -174,7 +189,7 @@ def run_cluster(config: ClusterConfig, workdir: str,
             if stats.get("complete"):
                 break
             _respawn_dead(
-                ctx, config, address, authkey, workdir,
+                ctx, spawn_config, address, authkey, workdir,
                 workers, incarnations, report,
             )
             time.sleep(config.heartbeat_interval)

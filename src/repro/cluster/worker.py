@@ -60,7 +60,7 @@ from repro.cluster.protocol import (
 )
 from repro.cluster.transport import SharedMemoryTransport
 from repro.errors import GenerationFencedError, RendezvousError
-from repro.nn import MixedPrecisionAdam, TinyTransformerLM, lm_synthetic_batches
+from repro.nn import MixedPrecisionAdam
 from repro.nn.functional import cross_entropy
 
 
@@ -171,31 +171,33 @@ class HeartbeatPump:
 # ----------------------------------------------------------------------
 # The ZeRO workload (shared with the sequential reference)
 # ----------------------------------------------------------------------
-def _build_model(config: ClusterConfig):
-    model = TinyTransformerLM(
+def _workload(config: ClusterConfig):
+    """The run's model/data recipe as the shared fleet ``JobWorkload``."""
+    from repro.fleet.factory import JobWorkload
+
+    return JobWorkload(
         vocab_size=config.vocab_size,
-        d_model=32,
-        d_ffn=64,
-        num_heads=4,
-        num_layers=config.layers,
-        max_seq=config.seq_len,
+        layers=config.layers,
+        seq_len=config.seq_len,
+        batch_size=config.global_batch,
+        lr=config.lr,
         seed=config.seed,
     )
+
+
+def _build_model(config: ClusterConfig):
+    from repro.fleet.factory import JobFactory
+
+    model = JobFactory(_workload(config)).model()
     params = model.parameters()
     return model, params
 
 
 def make_batches(config: ClusterConfig) -> list:
     """The run's deterministic batch stream; identical on every rank."""
-    return list(
-        lm_synthetic_batches(
-            config.vocab_size,
-            config.seq_len,
-            config.global_batch,
-            config.steps,
-            seed=config.seed + 1,
-        )
-    )
+    from repro.fleet.factory import JobFactory
+
+    return JobFactory(_workload(config)).batches(config.steps)
 
 
 def _flatten_params(params) -> np.ndarray:

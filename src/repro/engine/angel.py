@@ -39,7 +39,7 @@ import numpy as np
 from repro.errors import ConfigurationError, OutOfMemoryError
 from repro.hardware.device import DeviceKind
 from repro.lockfree.buffers import GradientBuffers
-from repro.memory.allocator import PageAllocator
+from repro.memory.allocator import PageAllocator, PageQuota
 from repro.memory.pool import DevicePool
 from repro.memory.tensor import PagedTensor
 from repro.nn.data import Batch
@@ -68,6 +68,7 @@ _ANGEL_CONFIG_FIELDS = (
     "pipeline",
     "prefetch_window",
     "writeback",
+    "owner",
 )
 
 
@@ -93,6 +94,13 @@ class AngelConfig:
     #: Flush FP32 states through the async writeback queue instead of
     #: synchronously inside the update sweep (pipeline mode only).
     writeback: bool = True
+    #: Tenant this engine's pages belong to under multi-tenancy
+    #: (``repro.fleet``); labels every page and names the pools.
+    owner: str | None = None
+    #: Optional shared repro.memory.PageQuota ledger the allocator charges
+    #: page acquisitions against (requires ``owner``); exceeding the
+    #: tenant's share raises a typed QuotaExceededError. Live-only.
+    quota: "PageQuota | None" = None
     #: Optional pre-built repro.scheduler.IterationPlan to execute instead
     #: of planning from the engine's own recorded trace — the same plan
     #: object can flow simulator -> live engine -> verifier.
@@ -119,6 +127,8 @@ class AngelConfig:
             )
         if self.prefetch_window < 1:
             raise ConfigurationError("prefetch_window must be >= 1")
+        if self.quota is not None and self.owner is None:
+            raise ConfigurationError("quota enforcement requires an owner")
 
     def to_dict(self) -> dict:
         """Serializable knobs; collaborators and plans stay live-only."""
@@ -189,17 +199,18 @@ class AngelModel:
         pools = {
             DeviceKind.GPU: DevicePool(
                 DeviceKind.GPU, config.gpu_memory_bytes, config.page_bytes,
-                backend="ram", telemetry=telemetry,
+                backend="ram", telemetry=telemetry, owner=config.owner,
             ),
             DeviceKind.CPU: DevicePool(
                 DeviceKind.CPU, config.cpu_memory_bytes, config.page_bytes,
-                backend="ram", telemetry=telemetry,
+                backend="ram", telemetry=telemetry, owner=config.owner,
             ),
         }
         if config.ssd_bytes:
             pools[DeviceKind.SSD] = DevicePool(
                 DeviceKind.SSD, config.ssd_bytes, config.page_bytes,
                 backend="file", file_path=config.ssd_path, telemetry=telemetry,
+                owner=config.owner,
             )
             if config.fault_plan is not None:
                 # Deferred import: repro.resilience builds on this engine.
@@ -214,13 +225,20 @@ class AngelModel:
         self.forensics = ForensicRecorder()
         self.allocator = PageAllocator(
             pools, retry_policy=config.retry_policy, telemetry=telemetry,
-            forensics=self.forensics,
+            forensics=self.forensics, owner=config.owner, quota=config.quota,
         )
         self._state_tier = DeviceKind.SSD if config.ssd_bytes else DeviceKind.CPU
 
         self._managed: list[_Managed] = []
         self._by_param: dict[int, _Managed] = {}
-        self._register_parameters()
+        try:
+            self._register_parameters()
+        except Exception:
+            # A half-registered engine has no handle the caller could close;
+            # return the pages (and any quota charges) before propagating —
+            # a tenant rejected at its quota must not leak charged pages.
+            self.allocator.close()
+            raise
         self._buffers = GradientBuffers([m.param for m in self._managed])
         self._install_hooks()
 

@@ -35,6 +35,37 @@ class AllocationError(ReproError):
     """A page- or tensor-level allocation violated an invariant."""
 
 
+class QuotaExceededError(AllocationError):
+    """A tenant asked for pages beyond its fleet quota.
+
+    Raised by the shared :class:`repro.memory.allocator.PageQuota` ledger
+    *before* the pool is touched, so one tenant exhausting its share
+    surfaces as a typed, attributable error instead of an
+    :class:`OutOfMemoryError` that silently starves its co-tenants.
+    ``scope`` is ``"tenant"`` when the per-owner quota was hit and
+    ``"pool"`` when the ledger's total capacity was.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        requested_pages: int,
+        quota_pages: int,
+        used_pages: int,
+        scope: str = "tenant",
+    ):
+        self.tenant = tenant
+        self.requested_pages = requested_pages
+        self.quota_pages = quota_pages
+        self.used_pages = used_pages
+        self.scope = scope
+        limit = "page quota" if scope == "tenant" else "shared pool capacity"
+        super().__init__(
+            f"tenant {tenant!r} exceeded {limit}: requested "
+            f"{requested_pages} page(s) with {used_pages}/{quota_pages} in use"
+        )
+
+
 class PageStateError(ReproError):
     """A page was used in a way its current state does not permit."""
 

@@ -1,0 +1,70 @@
+"""The ``repro fleet bench`` harness → ``BENCH_fleet.json``.
+
+Runs one :class:`~repro.fleet.gateway.FleetGateway` scenario under live
+telemetry and serializes the fleet-wide rollup: throughput (jobs/hour
+of *virtual* makespan), queue-latency percentiles, preemption count and
+victims, per-tenant fairness, the admission order, watchdog alerts and
+the telemetry registry. Virtual time means the payload is bit-stable for
+a given seed — CI diffs it run to run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, replace
+
+from repro.fleet.gateway import FleetConfig, FleetGateway, FleetReport
+from repro.telemetry.core import Telemetry
+
+
+def run_fleet_bench(
+    config: FleetConfig | None = None, telemetry: Telemetry | None = None
+) -> tuple[dict, FleetReport]:
+    """Run the scenario; returns ``(payload, report)``."""
+    if config is None:
+        config = FleetConfig()
+    if telemetry is None:
+        telemetry = config.telemetry or Telemetry(enabled=True)
+    if config.telemetry is not telemetry:
+        config = replace(config, telemetry=telemetry)
+    gateway = FleetGateway(config)
+    report = gateway.run()
+    rollup = report.to_dict()
+    payload = {
+        "benchmark": "fleet_bench",
+        "config": _config_payload(config),
+        "fleet": {
+            "jobs_per_hour": rollup["jobs_per_hour"],
+            "jobs_completed": rollup["jobs_completed"],
+            "jobs_submitted": rollup["jobs_submitted"],
+            "makespan_seconds": rollup["makespan_seconds"],
+            "preemptions": rollup["preemptions"],
+            "p99_queue_latency_seconds": rollup["queue_latency_seconds"]["p99"],
+            "queue_latency_seconds": rollup["queue_latency_seconds"],
+            "fairness": rollup["fairness"],
+        },
+        "admission_order": rollup["admission_order"],
+        "preemption_events": rollup["preemption_events"],
+        "jobs": rollup["jobs"],
+        "alerts": rollup["alerts"],
+        "events": report.events,
+        "telemetry": telemetry.dump(),
+    }
+    return payload, report
+
+
+def _config_payload(config: FleetConfig) -> dict:
+    payload = asdict(replace(config, telemetry=None))
+    payload.pop("telemetry", None)
+    payload["traffic"] = asdict(config.resolved_traffic())
+    return payload
+
+
+def save_fleet_bench(payload: dict, path: str) -> None:
+    """Write the payload as deterministic JSON (sorted keys)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+__all__ = ["run_fleet_bench", "save_fleet_bench"]

@@ -13,11 +13,12 @@ and a PyTorch-style caching allocator.
 
 from repro.memory.page import DEFAULT_PAGE_BYTES, Page, PageState
 from repro.memory.pool import DevicePool, FilePoolBackend, NullPoolBackend, RamPoolBackend
-from repro.memory.allocator import PageAllocator
+from repro.memory.allocator import PageAllocator, PageQuota
 from repro.memory.tensor import PagedTensor
 from repro.memory.fragmentation import FragmentationStats
 
 __all__ = [
+    "PageQuota",
     "DEFAULT_PAGE_BYTES",
     "Page",
     "PageState",

@@ -8,19 +8,127 @@ Implements the placement policy of Section 4.1:
 - larger tensors fill whole pages exclusively, and their sub-page *tail*
   may share a page with exactly one other tensor's tail, preserving the
   at-most-two-tensors-per-page invariant.
+
+Multi-tenancy (``repro.fleet``) adds owner accounting on top: an allocator
+constructed with ``owner=``/``quota=`` labels every page it acquires and
+charges it against a shared :class:`PageQuota` ledger, so co-located jobs
+see a typed :class:`~repro.errors.QuotaExceededError` at their own quota
+boundary instead of silently draining a shared pool.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 
 import numpy as np
 
-from repro.errors import AllocationError, TensorStateError
+from repro.errors import AllocationError, QuotaExceededError, TensorStateError
 from repro.hardware.device import DeviceKind
 from repro.memory.page import Page
 from repro.memory.pool import DevicePool
 from repro.memory.tensor import PagedTensor
+
+
+class PageQuota:
+    """Shared per-tenant page ledger for one physical pool (a fleet node).
+
+    Every :class:`PageAllocator` created with ``(owner=, quota=)`` charges
+    its page acquisitions here and credits releases, so co-located jobs
+    account against one capacity even though each engine keeps private
+    :class:`~repro.memory.pool.DevicePool` objects (the PatrickStar-style
+    chunk accounting that makes per-tenant quotas enforceable at the
+    allocator). ``quotas`` maps tenant name to a per-tenant page cap;
+    ``capacity_pages`` optionally caps the sum across tenants. A charge
+    that would break either cap raises
+    :class:`~repro.errors.QuotaExceededError` before any pool is touched.
+    """
+
+    def __init__(
+        self,
+        quotas: dict[str, int] | None = None,
+        capacity_pages: int | None = None,
+        telemetry=None,
+    ):
+        self._quotas: dict[str, int] = dict(quotas or {})
+        self.capacity_pages = capacity_pages
+        self._used: dict[str, int] = {}
+        self._lock = threading.Lock()
+        if telemetry is None:
+            from repro.telemetry.core import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self.telemetry = telemetry
+
+    def set_quota(self, owner: str, pages: int) -> None:
+        with self._lock:
+            self._quotas[owner] = pages
+
+    def quota_of(self, owner: str) -> int | None:
+        return self._quotas.get(owner)
+
+    def used(self, owner: str | None = None) -> int:
+        with self._lock:
+            if owner is None:
+                return sum(self._used.values())
+            return self._used.get(owner, 0)
+
+    def usage(self) -> dict[str, int]:
+        """Per-tenant pages currently charged (a copy)."""
+        with self._lock:
+            return dict(self._used)
+
+    def headroom(self, owner: str) -> int:
+        """Pages ``owner`` may still charge before a quota error."""
+        with self._lock:
+            room = []
+            limit = self._quotas.get(owner)
+            if limit is not None:
+                room.append(limit - self._used.get(owner, 0))
+            if self.capacity_pages is not None:
+                room.append(self.capacity_pages - sum(self._used.values()))
+            return max(0, min(room)) if room else 2**62
+
+    def charge(self, owner: str, pages: int = 1) -> None:
+        with self._lock:
+            used = self._used.get(owner, 0)
+            limit = self._quotas.get(owner)
+            if limit is not None and used + pages > limit:
+                self._reject(owner)
+                raise QuotaExceededError(owner, pages, limit, used)
+            total = sum(self._used.values())
+            if (
+                self.capacity_pages is not None
+                and total + pages > self.capacity_pages
+            ):
+                self._reject(owner)
+                raise QuotaExceededError(
+                    owner, pages, self.capacity_pages, total, scope="pool"
+                )
+            self._used[owner] = used + pages
+            self._observe(owner)
+
+    def credit(self, owner: str, pages: int = 1) -> None:
+        with self._lock:
+            used = self._used.get(owner, 0)
+            if pages > used:
+                raise AllocationError(
+                    f"tenant {owner!r} credited {pages} page(s) "
+                    f"but only {used} charged"
+                )
+            self._used[owner] = used - pages
+            self._observe(owner)
+
+    def _observe(self, owner: str) -> None:
+        # Called under _lock; the owner-accounting gauge fleet tests read.
+        if self.telemetry.enabled:
+            self.telemetry.gauge("quota.pages_in_use", tenant=owner).set(
+                self._used.get(owner, 0)
+            )
+
+    def _reject(self, owner: str) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.counter("quota.rejections", tenant=owner).inc()
 
 
 class PageAllocator:
@@ -32,6 +140,8 @@ class PageAllocator:
         retry_policy=None,
         telemetry=None,
         forensics=None,
+        owner: str | None = None,
+        quota: PageQuota | None = None,
     ):
         if not pools:
             raise AllocationError("at least one device pool is required")
@@ -57,6 +167,16 @@ class PageAllocator:
         if forensics is not None:
             for pool in self._pools.values():
                 pool.oom_observer = self._on_oom
+        #: Tenant every acquired page is labelled with and charged to.
+        self.owner = owner
+        #: Shared PageQuota ledger (one per fleet node); ``None`` keeps the
+        #: single-tenant fast path — no charge/credit on page turnover.
+        self.quota = quota
+        if quota is not None and owner is None:
+            raise AllocationError("a quota ledger requires an owner label")
+        # Pages currently charged to the ledger by *this* allocator, so
+        # close() can return the whole footprint in one credit.
+        self._pages_charged = 0
         self.page_bytes = page_sizes.pop()
         self._tensor_ids = itertools.count()
         self._tensors: dict[int, PagedTensor] = {}
@@ -95,6 +215,37 @@ class PageAllocator:
         }
 
     # ------------------------------------------------------------------
+    # Page turnover (the single choke point for quota charge/credit)
+    # ------------------------------------------------------------------
+    @property
+    def pages_charged(self) -> int:
+        """Pages this allocator currently has charged to its quota ledger."""
+        return self._pages_charged
+
+    def _acquire_page(self, pool: DevicePool) -> Page:
+        if self.quota is not None:
+            self.quota.charge(self.owner)
+            try:
+                page = pool.acquire()
+            except Exception:
+                self.quota.credit(self.owner)
+                raise
+            self._pages_charged += 1
+        else:
+            page = pool.acquire()
+        page.owner = self.owner
+        return page
+
+    def _retire_page(self, page: Page) -> None:
+        """Return an empty page to its pool and credit the quota ledger."""
+        self._forget_shared(page)
+        page.pool.release(page)
+        page.owner = None
+        if self.quota is not None:
+            self.quota.credit(self.owner)
+            self._pages_charged -= 1
+
+    # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
     def allocate(
@@ -116,7 +267,7 @@ class PageAllocator:
             share_tail = False
         try:
             for _ in range(full_pages):
-                page = pool.acquire()
+                page = self._acquire_page(pool)
                 page.allocate(self.page_bytes, tensor.tensor_id)
                 tensor.page_list.append(page)
             if tail_bytes:
@@ -150,7 +301,7 @@ class PageAllocator:
                 candidate.allocate(tail_bytes, tensor_id)
                 self._open_shared[device] = None  # now holds two tensors
                 return candidate
-        page = pool.acquire()
+        page = self._acquire_page(pool)
         page.allocate(tail_bytes, tensor_id)
         if share_tail and page.available_bytes > 0:
             self._open_shared[device] = page
@@ -160,8 +311,7 @@ class PageAllocator:
         for page in tensor.page_list:
             page.release(tensor.tensor_id)
             if page.is_empty and page.has_storage:
-                self._forget_shared(page)
-                page.pool.release(page)
+                self._retire_page(page)
         tensor.page_list.clear()
 
     # ------------------------------------------------------------------
@@ -176,8 +326,7 @@ class PageAllocator:
         for page in tensor.page_list:
             page.release(tensor.tensor_id)
             if page.is_empty and page.has_storage:
-                self._forget_shared(page)
-                page.pool.release(page)
+                self._retire_page(page)
         tensor.page_list.clear()
         tensor._released = True
         del self._tensors[tensor.tensor_id]
@@ -286,7 +435,7 @@ class PageAllocator:
         try:
             while remaining > 0:
                 chunk = min(remaining, self.page_bytes)
-                page = pool.acquire()
+                page = self._acquire_page(pool)
                 page.allocate(chunk, tensor.tensor_id)
                 tensor.page_list.append(page)
                 remaining -= chunk
@@ -297,8 +446,7 @@ class PageAllocator:
         for page in old_pages:
             page.release(tensor.tensor_id)
             if page.is_empty and page.has_storage:
-                self._forget_shared(page)
-                page.pool.release(page)
+                self._retire_page(page)
         tensor.write_array(data)
 
     def _forget_shared(self, page: Page) -> None:
@@ -332,6 +480,11 @@ class PageAllocator:
     def close(self) -> None:
         for pool in self._pools.values():
             pool.close()
+        # A torn-down engine returns its whole footprint to the ledger even
+        # when individual tensors were never released (preemption path).
+        if self.quota is not None and self._pages_charged:
+            self.quota.credit(self.owner, self._pages_charged)
+            self._pages_charged = 0
 
     def __enter__(self) -> "PageAllocator":
         return self

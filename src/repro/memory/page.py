@@ -64,6 +64,9 @@ class Page:
         self.page_id: int = next(_page_ids)
         self.total_bytes: int = total_bytes
         self.state: PageState = PageState.FREE
+        #: Tenant the page is charged to under a fleet quota (set by the
+        #: PageAllocator that acquired it; ``None`` outside multi-tenancy).
+        self.owner: str | None = None
         self._slots: list[_Slot] = []
         self._storage = None  # set by DevicePool.acquire()
 

@@ -146,10 +146,14 @@ class DevicePool:
         file_path: str | None = None,
         name: str | None = None,
         telemetry=None,
+        owner: str | None = None,
     ):
         if capacity_bytes < page_bytes:
             raise AllocationError("pool capacity smaller than one page")
         self.device_kind = device_kind
+        #: Tenant this pool belongs to under multi-tenancy; threaded into
+        #: the pool name so OOM errors attribute the starved tier.
+        self.owner = owner
         # Physical-I/O accounting: one counter pair per tier, fetched once
         # so the per-access cost is a None check (repro.telemetry).
         tier = device_kind.name.lower()
@@ -162,7 +166,11 @@ class DevicePool:
         self.page_bytes = page_bytes
         self.num_pages = capacity_bytes // page_bytes
         self.capacity_bytes = self.num_pages * page_bytes
-        self.name = name or f"{device_kind.name.lower()}-pool"
+        if name is None:
+            name = f"{device_kind.name.lower()}-pool"
+            if owner is not None:
+                name = f"{owner}/{name}"
+        self.name = name
         if backend == "ram":
             self._backend = RamPoolBackend(self.num_pages, page_bytes)
         elif backend == "file":

@@ -26,6 +26,9 @@ COMPARED_METRICS = [
     (("simulated", "samples_per_second"), True),
     (("simulated", "iteration_time_seconds"), False),
     (("overhead", "overhead_fraction"), False),
+    (("fleet", "jobs_per_hour"), True),
+    (("fleet", "p99_queue_latency_seconds"), False),
+    (("fleet", "makespan_seconds"), False),
 ]
 
 _BAR_WIDTH = 30
@@ -191,6 +194,55 @@ def _verification_section(bench: dict) -> list[str]:
     return lines
 
 
+def _fleet_section(bench: dict) -> list[str]:
+    """Control-plane verdict for a ``fleet_bench`` payload."""
+    fleet = bench.get("fleet")
+    if not fleet:
+        return []
+    fairness = fleet.get("fairness") or {}
+    rows = [
+        ("jobs", f"{fleet.get('jobs_completed', 0)}"
+                 f"/{fleet.get('jobs_submitted', 0)} completed"),
+        ("throughput", f"{fleet.get('jobs_per_hour', 0.0):.1f} jobs/hour"),
+        ("makespan", f"{fleet.get('makespan_seconds', 0.0):.1f} s (virtual)"),
+        ("p99 queue latency",
+         f"{fleet.get('p99_queue_latency_seconds', 0.0):.3f} s"),
+        ("preemptions", f"{fleet.get('preemptions', 0)}"),
+    ]
+    if fairness.get("max_min_ratio") is not None:
+        rows.append(
+            ("fairness (max/min service)", f"{fairness['max_min_ratio']:.2f}")
+        )
+    lines = ["## Fleet", "", "| metric | value |", "|---|---|"]
+    lines += [f"| {name} | {value} |" for name, value in rows]
+    lines.append("")
+    per_tenant = fairness.get("per_tenant_service_seconds") or {}
+    if per_tenant:
+        lines += ["### Per-tenant service", "",
+                  "| tenant | service (virtual s) |", "|---|---|"]
+        lines += [
+            f"| `{tenant}` | {seconds:.1f} |"
+            for tenant, seconds in sorted(per_tenant.items())
+        ]
+        lines.append("")
+    preemptions = bench.get("preemption_events") or []
+    if preemptions:
+        lines += ["### Preemptions", "",
+                  "| time | victim | tenant | prio | by | at step | node |",
+                  "|---|---|---|---|---|---|---|"]
+        for event in preemptions:
+            lines.append(
+                f"| {event.get('time', 0.0):.1f} | {event.get('victim', '?')} "
+                f"| `{event.get('victim_tenant', '?')}` "
+                f"| {event.get('victim_priority', '?')} "
+                f"| job {event.get('by_job', '?')} (prio "
+                f"{event.get('by_priority', '?')}) "
+                f"| {event.get('at_step', '?')} | {event.get('node', '?')} |"
+            )
+        lines.append("")
+    return lines
+
+
 def _anomaly_section(bench: dict) -> list[str]:
     alerts = bench.get("alerts") or []
     lines = ["## Anomalies", ""]
@@ -300,6 +352,14 @@ def render_markdown(
     if benchmark:
         lines.append(f"Benchmark: `{benchmark}`")
         lines.append("")
+    if bench.get("fleet"):
+        # Fleet payloads have no single-engine profile; render the
+        # control-plane sections instead of engine placeholders.
+        lines += _fleet_section(bench)
+        lines += _anomaly_section(bench)
+        lines += _span_section(bench)
+        lines += _trace_section(trace)
+        return "\n".join(lines).rstrip() + "\n"
     lines += _summary_section(bench)
     lines += _waterfall_section(bench)
     lines += _traffic_section(bench)
@@ -395,15 +455,30 @@ def write_report(
 def compare(baseline: dict, current: dict, threshold: float = 0.05) -> dict:
     """Diff two BENCH payloads; flag changes beyond ``threshold``.
 
-    Returns ``{regressions, improvements, unchanged, ok}`` where each
-    entry is ``{metric, baseline, current, delta_fraction}`` and ``ok``
-    is True iff nothing regressed.
+    Returns ``{regressions, improvements, unchanged, only_in_baseline,
+    only_in_current, ok}`` where each of the first three entries is
+    ``{metric, baseline, current, delta_fraction}`` and ``ok`` is True
+    iff nothing regressed.
+
+    Payloads from different benchmarks (e.g. ``BENCH_telemetry.json`` vs
+    ``BENCH_fleet.json``) rarely carry the same sections. A metric that
+    resolves on only one side is never an error: only metrics present in
+    *both* payloads are scored, and one-sided metrics are listed in
+    ``only_in_baseline``/``only_in_current`` so the asymmetry is visible
+    in the verdict instead of raised at the caller.
     """
     regressions, improvements, unchanged = [], [], []
+    only_in_baseline, only_in_current = [], []
     for path, higher_is_better in COMPARED_METRICS:
         base = _get(baseline, path)
         cur = _get(current, path)
-        if base is None or cur is None:
+        if base is None and cur is None:
+            continue
+        if cur is None:
+            only_in_baseline.append(".".join(path))
+            continue
+        if base is None:
+            only_in_current.append(".".join(path))
             continue
         if base == 0:
             delta = 0.0 if cur == 0 else float("inf")
@@ -426,6 +501,8 @@ def compare(baseline: dict, current: dict, threshold: float = 0.05) -> dict:
         "regressions": regressions,
         "improvements": improvements,
         "unchanged": unchanged,
+        "only_in_baseline": only_in_baseline,
+        "only_in_current": only_in_current,
         "ok": not regressions,
     }
 
@@ -452,5 +529,17 @@ def format_compare(result: dict) -> str:
                 f"| `{e['metric']}` | {e['baseline']:.4g} | {e['current']:.4g} "
                 f"| {e['delta_fraction']:+.1%} |"
             )
+        lines.append("")
+    asymmetries = [
+        (side, result.get(key) or [])
+        for side, key in (("baseline", "only_in_baseline"),
+                          ("current", "only_in_current"))
+    ]
+    if any(metrics for _, metrics in asymmetries):
+        lines += ["## Not comparable", ""]
+        for side, metrics in asymmetries:
+            if metrics:
+                listed = ", ".join(f"`{m}`" for m in metrics)
+                lines.append(f"- only in {side}: {listed}")
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"

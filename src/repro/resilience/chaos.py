@@ -15,9 +15,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.engine.angel import AngelConfig, initialize
+from repro.engine.angel import AngelConfig
+from repro.fleet.factory import JobFactory, JobWorkload
 from repro.metrics import FaultCounters
-from repro.nn import MixedPrecisionAdam, TinyTransformerLM, lm_synthetic_batches
+from repro.protocols import TelemetryLike
 from repro.resilience.faults import FaultPlan
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.trainer import ChaosReport, ResilientTrainer
@@ -51,19 +52,29 @@ class ChaosConfig:
     latency_seconds: float = 0.0
     die_after_ops: int | None = None
     rank_failure_at_step: int | None = None
+    # Harness resources (both optional). ``workdir`` is the checkpoint
+    # directory (a fresh temp dir when omitted); ``telemetry`` the live
+    # sink for fault counters and retry latencies. Explicit arguments to
+    # ``run_chaos`` take precedence over these fields.
+    workdir: str | None = None
+    telemetry: "TelemetryLike | None" = None
+
+
+def make_workload(config: ChaosConfig) -> JobWorkload:
+    """The scenario's model/data recipe as a fleet ``JobWorkload``."""
+    return JobWorkload(
+        vocab_size=config.vocab_size,
+        layers=config.layers,
+        seq_len=config.seq_len,
+        batch_size=config.batch_size,
+        lr=config.lr,
+        seed=config.seed,
+    )
 
 
 def make_batches(config: ChaosConfig) -> list:
     """The scenario's deterministic batch stream (shared by both runs)."""
-    return list(
-        lm_synthetic_batches(
-            config.vocab_size,
-            config.seq_len,
-            config.batch_size,
-            config.steps,
-            seed=config.seed + 1,
-        )
-    )
+    return JobFactory(make_workload(config)).batches(config.steps)
 
 
 def make_fault_plan(config: ChaosConfig) -> FaultPlan:
@@ -82,19 +93,15 @@ def make_fault_plan(config: ChaosConfig) -> FaultPlan:
 
 
 def engine_factory(config: ChaosConfig, plan: FaultPlan | None, policy: RetryPolicy | None):
-    """``factory(use_ssd) -> AngelModel`` building a fresh engine+model."""
+    """``factory(use_ssd) -> AngelModel`` building a fresh engine+model.
+
+    Engine construction is the shared :class:`repro.fleet.JobFactory`
+    recipe, so the chaos harness, the fleet gateway and the CLI all
+    rebuild identical engines from identical knobs.
+    """
+    job_factory = JobFactory(make_workload(config))
 
     def factory(use_ssd: bool = True):
-        model = TinyTransformerLM(
-            vocab_size=config.vocab_size,
-            d_model=32,
-            d_ffn=64,
-            num_heads=4,
-            num_layers=config.layers,
-            max_seq=config.seq_len,
-            seed=config.seed,
-        )
-        optimizer = MixedPrecisionAdam(model.parameters(), lr=config.lr)
         angel = AngelConfig(
             gpu_memory_bytes=config.gpu_memory_bytes,
             cpu_memory_bytes=config.cpu_memory_bytes,
@@ -103,7 +110,7 @@ def engine_factory(config: ChaosConfig, plan: FaultPlan | None, policy: RetryPol
             fault_plan=plan,
             retry_policy=policy,
         )
-        return initialize(model, optimizer, angel)
+        return job_factory.engine(angel)
 
     return factory
 
@@ -125,13 +132,17 @@ def run_reference(config: ChaosConfig) -> list[float]:
 
 def run_chaos(
     config: ChaosConfig,
-    checkpoint_dir: str,
+    checkpoint_dir: str | None = None,
     bus=None,
     counters: FaultCounters | None = None,
     telemetry=None,
     watchdog=None,
 ) -> ChaosReport:
     """Run the scenario under supervision; returns the ChaosReport.
+
+    ``checkpoint_dir``/``telemetry`` resolve explicit argument first,
+    then the matching ``config`` field (``workdir``/``telemetry``), then
+    (for the directory) a fresh temp dir.
 
     When ``telemetry`` is given, fault counters and retry latencies flow
     through its metrics registry — ``telemetry.dump()`` afterwards is one
@@ -141,6 +152,14 @@ def run_chaos(
     ``report.alerts`` and sustained SSD-pressure/retry-storm alerts in
     ``report.recommendations``.
     """
+    if checkpoint_dir is None:
+        checkpoint_dir = config.workdir
+    if checkpoint_dir is None:
+        import tempfile
+
+        checkpoint_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    if telemetry is None:
+        telemetry = config.telemetry
     plan = make_fault_plan(config)
     policy = RetryPolicy(
         max_attempts=6, base_delay=1e-4, max_delay=2e-3, seed=config.seed,

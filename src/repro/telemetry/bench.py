@@ -60,15 +60,20 @@ class ProfileConfig:
     watch: bool = True
 
 
-def _build_engine(config: ProfileConfig, telemetry, pipeline=None, fault_plan=None):
-    from repro.engine.angel import AngelConfig, initialize
-    from repro.nn import MixedPrecisionAdam, TinyTransformerLM
+def _workload(config: ProfileConfig):
+    from repro.fleet.factory import JobWorkload
 
-    model = TinyTransformerLM(
-        vocab_size=config.vocab_size, d_model=32, d_ffn=64, num_heads=4,
-        num_layers=config.layers, max_seq=config.seq_len, seed=config.seed,
+    return JobWorkload(
+        vocab_size=config.vocab_size, layers=config.layers,
+        seq_len=config.seq_len, batch_size=config.batch_size,
+        lr=config.lr, seed=config.seed,
     )
-    optimizer = MixedPrecisionAdam(model.parameters(), lr=config.lr)
+
+
+def _build_engine(config: ProfileConfig, telemetry, pipeline=None, fault_plan=None):
+    from repro.engine.angel import AngelConfig
+    from repro.fleet.factory import JobFactory
+
     angel = AngelConfig(
         gpu_memory_bytes=config.gpu_memory_bytes,
         cpu_memory_bytes=config.cpu_memory_bytes,
@@ -80,7 +85,7 @@ def _build_engine(config: ProfileConfig, telemetry, pipeline=None, fault_plan=No
         fault_plan=fault_plan,
         telemetry=telemetry,
     )
-    return initialize(model, optimizer, angel)
+    return JobFactory(_workload(config)).engine(angel)
 
 
 def _train_once(
@@ -88,17 +93,16 @@ def _train_once(
 ) -> tuple[float, list[float], list[dict], dict]:
     """One training run; returns (elapsed, losses, memory_timeline,
     pipeline_report)."""
-    from repro.nn import lm_synthetic_batches
+    from repro.fleet.factory import JobFactory
 
     clock = telemetry.clock
     engine = _build_engine(config, telemetry, pipeline=pipeline, fault_plan=fault_plan)
     losses = []
     try:
         started = clock.perf()
-        for step, batch in enumerate(lm_synthetic_batches(
-            config.vocab_size, config.seq_len, config.batch_size,
-            config.steps, seed=config.seed + 1,
-        )):
+        for step, batch in enumerate(
+            JobFactory(_workload(config)).batches(config.steps)
+        ):
             loss = engine(batch)
             engine.backward(loss)
             engine.step()

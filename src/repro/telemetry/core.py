@@ -125,6 +125,18 @@ class Telemetry:
             seconds
         )
 
+    def record_job(self, event: str, tenant: str) -> None:
+        """Fleet job-lifecycle event (admitted/started/preempted/...)."""
+        if not self.enabled:
+            return
+        self.registry.counter("fleet.jobs", event=event, tenant=tenant).inc()
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Jobs waiting for a placement in the fleet gateway."""
+        if not self.enabled:
+            return
+        self.registry.gauge("fleet.queue_depth").set(depth)
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
