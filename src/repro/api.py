@@ -112,6 +112,24 @@ def fleet_bench(config=None, telemetry=None):
     return run_fleet_bench(config, telemetry=telemetry)
 
 
+def trace_collect(workdir, out=None, rollup=None):
+    """Merge a run's per-process event streams; returns a ``CollectedTrace``.
+
+    ``workdir`` is any cluster or fleet run directory whose processes
+    exported telemetry under ``workdir/telemetry/``. The result bundles
+    the merged Chrome trace (one lane per rank incarnation / job, clock
+    offsets solved from generation anchors), the fleet-wide metrics
+    rollup and per-tenant traffic totals; ``out``/``rollup`` paths write
+    the two artifacts, same as ``repro trace collect``.
+    """
+    from repro.telemetry.collect import TraceCollector
+
+    collected = TraceCollector(workdir).collect()
+    if out is not None:
+        collected.save(out, rollup)
+    return collected
+
+
 def report(bench, out, trace=None, html=False):
     """Render a run report from a ``BENCH_telemetry.json`` payload.
 
@@ -154,4 +172,5 @@ __all__ = [
     "initialize",
     "profile",
     "report",
+    "trace_collect",
 ]

@@ -705,6 +705,69 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_collect(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.telemetry.collect import TraceCollector
+
+    if not os.path.isdir(args.workdir):
+        print(f"trace: no such workdir {args.workdir}", file=sys.stderr)
+        return 2
+    collected = TraceCollector(args.workdir).collect()
+    out = args.out or os.path.join(args.workdir, "cluster_trace.json")
+    rollup_path = args.rollup or os.path.join(
+        args.workdir, "telemetry_rollup.json"
+    )
+    collected.save(out, rollup_path)
+    print(f"streams         : {len(collected.streams)} "
+          f"({collected.skipped_lines} truncated line(s) skipped)")
+    print(f"rank lanes      : "
+          f"{', '.join(collected.rank_lanes) or '(none)'}")
+    for source, info in sorted(
+        collected.rollup.get("per_source", {}).items()
+    ):
+        print(f"  {source:<14} role={info['role']:<10} "
+              f"last_step={info['last_step']} align={info['alignment']}")
+    traffic = collected.rollup.get("tenant_traffic") or {}
+    if traffic:
+        print("tenant traffic  :")
+        for tenant, bucket in traffic.items():
+            print(f"  {tenant:<8} "
+                  f"{bucket['pages_moved_bytes'] / MiB:8.2f} MiB moved "
+                  f"over {bucket['jobs']} job stream(s)")
+    print(f"wrote           : {out}")
+    print(f"wrote           : {rollup_path}")
+    if len(collected.rank_lanes) < args.min_rank_lanes:
+        print(f"trace: FAIL: only {len(collected.rank_lanes)} rank "
+              f"lane(s), need >= {args.min_rank_lanes}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from repro.telemetry.collect import render_top, tail_state
+
+    if not os.path.isdir(args.workdir):
+        print(f"top: no such workdir {args.workdir}", file=sys.stderr)
+        return 2
+    try:
+        while True:
+            state = tail_state(args.workdir)
+            if not args.once:
+                # Clear screen + home, like top(1); skipped in --once
+                # mode so CI logs stay readable.
+                print("\x1b[2J\x1b[H", end="")
+            print(render_top(state))
+            if args.once:
+                return 0
+            time.sleep(args.refresh)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import repro.experiments as experiments
 
@@ -931,6 +994,48 @@ def build_parser() -> argparse.ArgumentParser:
                          help="relative change beyond which a metric is "
                               "flagged (default 0.05)")
     compare.set_defaults(func=_cmd_report_compare)
+
+    top = sub.add_parser(
+        "top",
+        help="live text dashboard tailing a run's telemetry streams",
+    )
+    top.add_argument("workdir",
+                     help="run workdir containing a telemetry/ directory")
+    top.add_argument("--refresh", type=float, default=1.0,
+                     help="seconds between redraws (default 1.0)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (CI / tests)")
+    top.set_defaults(func=_cmd_top)
+
+    trace = sub.add_parser(
+        "trace",
+        help="distributed trace collection (repro.telemetry.collect)",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_collect = trace_sub.add_parser(
+        "collect",
+        help="merge per-process event streams into one Chrome trace "
+             "+ fleet-wide metrics rollup",
+    )
+    trace_collect.add_argument(
+        "workdir", help="run workdir containing telemetry/ event files"
+    )
+    trace_collect.add_argument(
+        "--out", default=None,
+        help="merged Chrome trace path "
+             "(default: <workdir>/cluster_trace.json)",
+    )
+    trace_collect.add_argument(
+        "--rollup", default=None,
+        help="merged metrics rollup path "
+             "(default: <workdir>/telemetry_rollup.json)",
+    )
+    trace_collect.add_argument(
+        "--min-rank-lanes", type=int, default=0,
+        help="fail unless the merged trace has at least this many rank "
+             "lanes (CI smoke gate)",
+    )
+    trace_collect.set_defaults(func=_cmd_trace_collect)
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", help="e.g. table5, figure8, ablation_page_size")

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.protocols import TelemetryLike
+from repro.telemetry.export import SinkSpec
 from repro.units import KiB
 
 
@@ -74,6 +75,12 @@ class ClusterConfig:
     # before any spawn.
     workdir: str | None = None
     telemetry: TelemetryLike | None = None
+    #: Unlike ``telemetry``, this *does* cross the spawn boundary: a
+    #: picklable recipe (directory + flush interval) each worker opens
+    #: its own per-incarnation event file from, so worker-side spans and
+    #: metrics are exported instead of silently dropped. ``run_cluster``
+    #: fills it from ``workdir`` when unset.
+    sink: SinkSpec | None = None
 
     @property
     def num_data_shards(self) -> int:

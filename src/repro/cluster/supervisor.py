@@ -40,6 +40,7 @@ from repro.cluster.protocol import (
 )
 from repro.cluster.worker import session_token, worker_entry
 from repro.errors import ClusterError, ConfigurationError
+from repro.telemetry.export import SinkSpec, telemetry_dir
 
 
 @dataclass
@@ -56,6 +57,13 @@ class ClusterReport:
     events: list[dict] = field(default_factory=list)
     alerts: list = field(default_factory=list)
     workdir: str = ""
+    #: Cluster-wide metrics rollup merged from every worker's event
+    #: stream (counters summed, gauges max-merged) by the trace
+    #: collector on exit.
+    rollup: dict = field(default_factory=dict)
+    #: Trace lanes contributed by rank streams — one per incarnation,
+    #: so a kill-and-respawn run shows both ``w1i0`` and ``w1i1``.
+    rank_lanes: list[str] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
@@ -78,6 +86,8 @@ class ClusterReport:
                 for alert in self.alerts
             ],
             "workdir": self.workdir,
+            "rollup": self.rollup,
+            "rank_lanes": self.rank_lanes,
         }
 
 
@@ -138,9 +148,12 @@ def run_cluster(config: ClusterConfig, workdir: str | None = None,
         workdir = tempfile.mkdtemp(prefix="repro-cluster-")
     if telemetry is None:
         telemetry = config.telemetry
-    # The config crosses the process boundary by pickle; the telemetry
-    # sink must not (it is live supervisor state).
-    spawn_config = replace(config, telemetry=None)
+    # The config crosses the process boundary by pickle; a live telemetry
+    # object must not (it is supervisor state) — but the *sink spec* is a
+    # picklable recipe, so every worker opens its own event file under
+    # workdir/telemetry/ instead of running blind.
+    sink_spec = config.sink or SinkSpec(telemetry_dir(workdir))
+    spawn_config = replace(config, telemetry=None, sink=sink_spec)
     os.makedirs(workdir, exist_ok=True)
     # AF_UNIX socket paths are length-limited (~108 bytes); anchor the
     # rendezvous address in tmp, scoped by pid + workdir hash.
@@ -155,6 +168,15 @@ def run_cluster(config: ClusterConfig, workdir: str | None = None,
         from repro.observe.watchdog import Watchdog
 
         watchdog = Watchdog(telemetry=telemetry)
+
+    # The supervisor exports its own stream too: the mirrored
+    # heartbeat/membership gauges plus any live watchdog alerts, on the
+    # same file format the workers write.
+    supervisor_sink = None
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        supervisor_sink = sink_spec.open(
+            "supervisor", role="supervisor", telemetry=telemetry
+        )
 
     coordinator = ctx.Process(
         target=coordinator_main,
@@ -181,11 +203,15 @@ def run_cluster(config: ClusterConfig, workdir: str | None = None,
             supervisor_conn.send({"op": OP_STATS, "worker": "supervisor"})
             stats = supervisor_conn.recv()
             _mirror(stats, telemetry)
+            steps = [m["step"] for m in stats.get("members", {}).values()]
             if watchdog is not None:
-                steps = [m["step"] for m in stats.get("members", {}).values()]
-                report.alerts.extend(
-                    watchdog.observe_step(step=max(steps, default=0))
-                )
+                fired = watchdog.observe_step(step=max(steps, default=0))
+                report.alerts.extend(fired)
+                if supervisor_sink is not None:
+                    for alert in fired:
+                        supervisor_sink.record_alert(alert)
+            if supervisor_sink is not None:
+                supervisor_sink.step(max(steps, default=0))
             if stats.get("complete"):
                 break
             _respawn_dead(
@@ -216,7 +242,33 @@ def run_cluster(config: ClusterConfig, workdir: str | None = None,
             break
     report.steps_completed = len(report.losses)
     report.events = _read_events(workdir)
+    if supervisor_sink is not None:
+        supervisor_sink.close()
+    _collect_telemetry(workdir, report, watchdog)
     return report
+
+
+def _collect_telemetry(workdir: str, report: ClusterReport,
+                       watchdog) -> None:
+    """Merge every worker's event stream; re-run the rules cluster-wide.
+
+    The live watchdog only ever saw the supervisor's own registry; the
+    replay feeds the *merged* per-step stream (every rank's counters
+    summed) through a fresh instance of the same rule set, so retry
+    storms split across ranks and missed heartbeats fire on cluster
+    totals. Replay alerts land in ``report.alerts`` alongside the live
+    ones.
+    """
+    from repro.observe.watchdog import Watchdog
+    from repro.telemetry.collect import TraceCollector, replay_watchdog
+
+    collected = TraceCollector(workdir).collect()
+    report.rollup = collected.rollup
+    report.rank_lanes = collected.rank_lanes
+    replay = Watchdog(
+        config=watchdog.config if watchdog is not None else None
+    )
+    report.alerts.extend(replay_watchdog(collected.streams, replay))
 
 
 def _mirror(stats: dict, telemetry) -> None:

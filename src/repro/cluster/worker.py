@@ -62,6 +62,7 @@ from repro.cluster.transport import SharedMemoryTransport
 from repro.errors import GenerationFencedError, RendezvousError
 from repro.nn import MixedPrecisionAdam
 from repro.nn.functional import cross_entropy
+from repro.telemetry.core import NULL_TELEMETRY
 
 
 def session_token(workdir: str) -> str:
@@ -266,7 +267,7 @@ def run_cluster_reference(config: ClusterConfig) -> list[float]:
 # The worker process
 # ----------------------------------------------------------------------
 def _maybe_kill(config: ClusterConfig, slot: int, incarnation: int,
-                step: int) -> None:
+                step: int, sink=None) -> None:
     """SIGKILL mid-step if this life is the configured victim."""
     if (
         config.kill_rank is not None
@@ -275,6 +276,10 @@ def _maybe_kill(config: ClusterConfig, slot: int, incarnation: int,
         and incarnation == 0
         and step == config.kill_at_step
     ):
+        if sink is not None:
+            # Flush completed events, then leave the truncated tail a
+            # real mid-write SIGKILL would — the collector must skip it.
+            sink.tear()
         os.kill(os.getpid(), signal.SIGKILL)
 
 
@@ -303,8 +308,11 @@ def _save_group_checkpoint(workdir: str, transport, client, generation: int,
 def _run_generation(config: ClusterConfig, workdir: str,
                     client: CoordinatorClient, pump: HeartbeatPump,
                     transport, generation: int, rank: int, world: int,
-                    slot: int, incarnation: int) -> bool:
+                    slot: int, incarnation: int, sink=None) -> bool:
     """Train within one generation. True = workload complete."""
+    telemetry = sink.telemetry if sink is not None else NULL_TELEMETRY
+    steps_counter = telemetry.counter("worker.steps")
+    step_gauge = telemetry.gauge("worker.step")
     model, params = _build_model(config)
     true_size = sum(p.data.size for p in params)
     batches = make_batches(config)
@@ -337,33 +345,48 @@ def _run_generation(config: ClusterConfig, workdir: str,
         pump.advance(step)
         if config.step_delay:
             time.sleep(config.step_delay)
-        loss_sum, grad = _shard_grads(
-            model, params, batches[step], config, rank, world
-        )
-        _maybe_kill(config, slot, incarnation, step)
-        grad_shard = transport.reduce_scatter(grad)
-        grad_shard /= config.num_data_shards
-        adam_t += 1
-        adam.t = adam_t
-        adam._apply(master_shard, grad_shard, m_shard, v_shard)
-        param_shard = master_shard.astype(np.float16).astype(np.float32)
-        flat = np.concatenate(transport.all_gather(param_shard))[:true_size]
-        _assign_params(params, flat)
-        sums = transport.all_gather(np.array([loss_sum], dtype=np.float64))
-        step_loss = 0.0
-        for partial in sums:  # ascending rank order == shard order
-            step_loss += float(partial[0])
-        losses.append(step_loss / config.num_data_shards)
+        with telemetry.span(f"step{step}", track="train", step=step,
+                            generation=generation, rank=rank):
+            with telemetry.span("grads", track="train"):
+                loss_sum, grad = _shard_grads(
+                    model, params, batches[step], config, rank, world
+                )
+            _maybe_kill(config, slot, incarnation, step, sink)
+            with telemetry.span("reduce_scatter", track="train"):
+                grad_shard = transport.reduce_scatter(grad)
+            telemetry.record_collective("reduce_scatter", grad.nbytes)
+            grad_shard /= config.num_data_shards
+            adam_t += 1
+            adam.t = adam_t
+            with telemetry.span("adam", track="train"):
+                adam._apply(master_shard, grad_shard, m_shard, v_shard)
+            param_shard = master_shard.astype(np.float16).astype(np.float32)
+            with telemetry.span("all_gather", track="train"):
+                flat = np.concatenate(
+                    transport.all_gather(param_shard)
+                )[:true_size]
+            telemetry.record_collective("all_gather", param_shard.nbytes)
+            _assign_params(params, flat)
+            sums = transport.all_gather(np.array([loss_sum], dtype=np.float64))
+            step_loss = 0.0
+            for partial in sums:  # ascending rank order == shard order
+                step_loss += float(partial[0])
+            losses.append(step_loss / config.num_data_shards)
 
         completed = step + 1
+        steps_counter.inc()
+        step_gauge.set(completed)
         reply = client.barrier(f"step{step}", generation)
         rejoin = bool(reply.get("rejoin")) and completed < config.steps
         if completed % config.checkpoint_every == 0 or rejoin:
-            _save_group_checkpoint(
-                workdir, transport, client, generation, rank, world,
-                true_size, master_shard, m_shard, v_shard,
-                completed, adam_t, losses,
-            )
+            with telemetry.span("checkpoint", track="train", step=completed):
+                _save_group_checkpoint(
+                    workdir, transport, client, generation, rank, world,
+                    true_size, master_shard, m_shard, v_shard,
+                    completed, adam_t, losses,
+                )
+        if sink is not None:
+            sink.step(completed)
         if rejoin:
             # A joiner is waiting: checkpointed above, now re-form.
             client.call(OP_RETIRE, generation=generation)
@@ -390,6 +413,9 @@ def run_worker(config: ClusterConfig, address, authkey: bytes, workdir: str,
         return 3  # coordinator already gone (e.g. respawned post-completion)
     pump.start()
     session = session_token(workdir)
+    # One event file per *life*: a killed w1i0 and its respawn w1i1 get
+    # separate lanes in the collected trace.
+    sink = config.sink.open(me, role="rank") if config.sink else None
     try:
         while True:
             reply = client.join(slot, incarnation)
@@ -399,6 +425,11 @@ def run_worker(config: ClusterConfig, address, authkey: bytes, workdir: str,
             generation = int(reply["generation"])
             rank = int(reply["rank"])
             world = int(reply["world"])
+            if sink is not None:
+                # The clock-alignment anchor: the coordinator logged this
+                # same generation forming in wall time.
+                sink.anchor(f"generation:{generation}", rank=rank,
+                            world=world)
             pump.configure(generation, 0)
             transport = SharedMemoryTransport(
                 rank, world, generation, session,
@@ -408,7 +439,7 @@ def run_worker(config: ClusterConfig, address, authkey: bytes, workdir: str,
             try:
                 if _run_generation(
                     config, workdir, client, pump, transport,
-                    generation, rank, world, slot, incarnation,
+                    generation, rank, world, slot, incarnation, sink,
                 ):
                     return 0
             except GenerationFencedError:
@@ -419,6 +450,8 @@ def run_worker(config: ClusterConfig, address, authkey: bytes, workdir: str,
             finally:
                 transport.close()
     finally:
+        if sink is not None:
+            sink.close()
         pump.stop()
         client.close()
 

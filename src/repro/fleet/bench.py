@@ -14,6 +14,8 @@ import json
 from dataclasses import asdict, replace
 
 from repro.fleet.gateway import FleetConfig, FleetGateway, FleetReport
+from repro.observe.watchdog import Watchdog
+from repro.telemetry.collect import TraceCollector, replay_watchdog
 from repro.telemetry.core import Telemetry
 
 
@@ -30,6 +32,19 @@ def run_fleet_bench(
     gateway = FleetGateway(config)
     report = gateway.run()
     rollup = report.to_dict()
+
+    # Every job ran under its own tenant-labelled event stream; the
+    # merged rollup is the fleet-wide truth (page traffic per tenant,
+    # counters summed across jobs), and replaying the merged per-step
+    # stream through a fresh watchdog fires the rules on fleet totals
+    # rather than one engine's registry.
+    collected = TraceCollector(gateway.workdir).collect()
+    replay_alerts = [
+        alert.to_dict()
+        for alert in replay_watchdog(
+            collected.streams, Watchdog(config=gateway.watchdog.config)
+        )
+    ]
     payload = {
         "benchmark": "fleet_bench",
         "config": _config_payload(config),
@@ -42,13 +57,16 @@ def run_fleet_bench(
             "p99_queue_latency_seconds": rollup["queue_latency_seconds"]["p99"],
             "queue_latency_seconds": rollup["queue_latency_seconds"],
             "fairness": rollup["fairness"],
+            "tenant_traffic": collected.rollup["tenant_traffic"],
         },
         "admission_order": rollup["admission_order"],
         "preemption_events": rollup["preemption_events"],
         "jobs": rollup["jobs"],
-        "alerts": rollup["alerts"],
+        "alerts": rollup["alerts"] + replay_alerts,
         "events": report.events,
         "telemetry": telemetry.dump(),
+        "rollup": collected.rollup,
+        "workdir": gateway.workdir,
     }
     return payload, report
 

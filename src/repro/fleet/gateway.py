@@ -41,6 +41,8 @@ from repro.fleet.scheduler import FairShareScheduler, FleetNode
 from repro.fleet.traffic import TrafficConfig, generate_jobs
 from repro.memory.allocator import PageQuota
 from repro.protocols import TelemetryLike
+from repro.telemetry.export import SinkSpec, telemetry_dir
+from repro.telemetry.registry import nearest_rank
 from repro.units import KiB, MiB
 
 
@@ -128,8 +130,7 @@ class FleetReport:
         waits = self.queue_latencies()
         if not waits:
             return None
-        index = min(len(waits) - 1, int(round(fraction * (len(waits) - 1))))
-        return waits[index]
+        return nearest_rank(waits, fraction * 100)
 
     def to_dict(self) -> dict:
         waits = self.queue_latencies()
@@ -200,6 +201,15 @@ class FleetGateway:
         #: Fleet-wide watchdog: every job's engine is observed at quantum
         #: boundaries, so alerts from all tenants roll up in one place.
         self.watchdog = Watchdog(telemetry=telemetry)
+        #: Event-file recipe under workdir/telemetry/: one stream per job
+        #: (tenant-labelled, feeding the per-tenant traffic rollup) plus
+        #: the gateway's own (queue depth, quota gauges, alerts).
+        self.sink_spec = SinkSpec(telemetry_dir(self.workdir))
+        self._sinks: dict[int, object] = {}
+        self._gateway_sink = self.sink_spec.open(
+            "gateway", role="gateway", telemetry=telemetry
+        )
+        self._tick = 0
         self._engines: dict[int, object] = {}
         self._batches: dict[int, list] = {}
         self._events: list[dict] = []
@@ -269,6 +279,9 @@ class FleetGateway:
             for engine in self._engines.values():
                 engine.close()
             self._engines.clear()
+            for sink in self._sinks.values():
+                sink.close()
+            self._gateway_sink.close(final_step=self._tick)
         return FleetReport(
             config=self.config,
             jobs=[records[spec.job_id] for spec in specs],
@@ -325,9 +338,21 @@ class FleetGateway:
         os.makedirs(path, exist_ok=True)
         return path
 
+    def _job_sink(self, record: JobRecord):
+        """The job's event stream; reused across preempt/resume cycles
+        so its counters accumulate whole-job totals."""
+        spec = record.spec
+        sink = self._sinks.get(spec.job_id)
+        if sink is None:
+            sink = self._sinks[spec.job_id] = self.sink_spec.open(
+                f"job-{spec.job_id:04d}", role="job", tenant=spec.tenant
+            )
+        return sink
+
     def _launch(self, record: JobRecord, node: FleetNode, now: float) -> None:
         spec = record.spec
         factory = JobFactory(spec.workload)
+        sink = self._job_sink(record)
         engine = factory.engine(
             AngelConfig(
                 gpu_memory_bytes=self.config.gpu_memory_bytes,
@@ -335,6 +360,7 @@ class FleetGateway:
                 page_bytes=self.config.page_bytes,
                 owner=spec.tenant,
                 quota=node.quota,
+                telemetry=sink.telemetry,
             )
         )
         resumed = record.state is JobState.PREEMPTED
@@ -392,7 +418,12 @@ class FleetGateway:
         elapsed = steps * est.step_seconds
         record.service_seconds += elapsed
         self.scheduler.credit_service(record.spec.tenant, elapsed)
-        self.watchdog.observe_engine(engine, step=record.steps_done)
+        fired = self.watchdog.observe_engine(engine, step=record.steps_done)
+        for alert in fired:
+            self._gateway_sink.record_alert(alert)
+        self._job_sink(record).step(record.steps_done)
+        self._tick += 1
+        self._gateway_sink.step(self._tick)
         if record.remaining_steps == 0:
             self._finish(record, now)
         else:

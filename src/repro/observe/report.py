@@ -243,6 +243,64 @@ def _fleet_section(bench: dict) -> list[str]:
     return lines
 
 
+def _rank_timeline_section(bench: dict) -> list[str]:
+    """Per-rank/job view of the merged telemetry rollup.
+
+    Renders for any payload carrying a collected ``rollup`` (cluster run
+    reports, fleet bench payloads): one row per event stream — every
+    rank *incarnation* gets its own row, so a killed-and-respawned
+    worker shows both lives — with how its clock was aligned and how
+    many truncated lines the collector skipped.
+    """
+    rollup = bench.get("rollup") or {}
+    per_source = rollup.get("per_source") or {}
+    if not per_source:
+        return []
+    lines = ["## Per-rank timeline", "",
+             "| stream | role | tenant | last step | clock | "
+             "skipped lines |",
+             "|---|---|---|---|---|---|"]
+    for source, info in sorted(per_source.items()):
+        lines.append(
+            f"| `{source}` | {info.get('role', '?')} "
+            f"| {info.get('tenant') or '-'} "
+            f"| {info.get('last_step') if info.get('last_step') is not None else '-'} "
+            f"| {info.get('alignment', '?')} "
+            f"| {info.get('skipped_lines', 0)} |"
+        )
+    lines.append("")
+    lanes = bench.get("rank_lanes") or []
+    if lanes:
+        listed = ", ".join(f"`{lane}`" for lane in lanes)
+        lines.append(f"Rank lanes in the merged trace: {listed}.")
+        lines.append("")
+    return lines
+
+
+def _tenant_traffic_section(bench: dict) -> list[str]:
+    """Per-tenant page/IO traffic from the merged rollup."""
+    traffic = (
+        (bench.get("fleet") or {}).get("tenant_traffic")
+        or (bench.get("rollup") or {}).get("tenant_traffic")
+        or {}
+    )
+    if not traffic:
+        return []
+    lines = ["## Tenant traffic", "",
+             "| tenant | job streams | pages moved | page moves | "
+             "IO read | IO written |",
+             "|---|---|---|---|---|---|"]
+    for tenant, bucket in sorted(traffic.items()):
+        lines.append(
+            f"| `{tenant}` | {bucket.get('jobs', 0)} "
+            f"| {_fmt_bytes(bucket.get('pages_moved_bytes', 0))} "
+            f"| {bucket.get('page_moves', 0)} "
+            f"| {_fmt_bytes(bucket.get('io_read_bytes', 0))} "
+            f"| {_fmt_bytes(bucket.get('io_write_bytes', 0))} |"
+        )
+    return lines + [""]
+
+
 def _anomaly_section(bench: dict) -> list[str]:
     alerts = bench.get("alerts") or []
     lines = ["## Anomalies", ""]
@@ -356,6 +414,8 @@ def render_markdown(
         # Fleet payloads have no single-engine profile; render the
         # control-plane sections instead of engine placeholders.
         lines += _fleet_section(bench)
+        lines += _tenant_traffic_section(bench)
+        lines += _rank_timeline_section(bench)
         lines += _anomaly_section(bench)
         lines += _span_section(bench)
         lines += _trace_section(trace)
@@ -363,6 +423,8 @@ def render_markdown(
     lines += _summary_section(bench)
     lines += _waterfall_section(bench)
     lines += _traffic_section(bench)
+    lines += _tenant_traffic_section(bench)
+    lines += _rank_timeline_section(bench)
     lines += _pipeline_section(bench)
     lines += _verification_section(bench)
     lines += _anomaly_section(bench)

@@ -9,18 +9,22 @@ per-tier page traffic and fault/retry accounting, injectable
 """
 
 from repro.telemetry.clock import WALL_CLOCK, Clock, ManualClock
+from repro.telemetry.collect import CollectedTrace, TraceCollector
 from repro.telemetry.core import NULL_TELEMETRY, Telemetry
+from repro.telemetry.export import SinkSpec, TelemetrySink
 from repro.telemetry.registry import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NULL_INSTRUMENT,
+    nearest_rank,
 )
 from repro.telemetry.spans import NULL_SPAN, SpanRecord, SpanTracer
 
 __all__ = [
     "Clock",
+    "CollectedTrace",
     "Counter",
     "Gauge",
     "Histogram",
@@ -29,8 +33,12 @@ __all__ = [
     "NULL_INSTRUMENT",
     "NULL_SPAN",
     "NULL_TELEMETRY",
+    "SinkSpec",
     "SpanRecord",
     "SpanTracer",
     "Telemetry",
+    "TelemetrySink",
+    "TraceCollector",
     "WALL_CLOCK",
+    "nearest_rank",
 ]

@@ -22,6 +22,23 @@ def _key(name: str, labels: dict) -> str:
     return f"{name}{{{inner}}}"
 
 
+def nearest_rank(samples, q: float) -> float:
+    """Nearest-rank percentile of ``samples``, ``q`` in [0, 100].
+
+    The one shared definition of a percentile in this codebase —
+    :class:`Histogram`, the trace collector's fleet rollup and
+    ``fleet/bench.py`` all call this instead of hand-rolling index math,
+    so their p99s agree by construction. Returns 0.0 on no samples.
+    """
+    if not 0 <= q <= 100:
+        raise ConfigurationError("percentile must be in [0, 100]")
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
 class Counter:
     """Monotonically increasing count (events, bytes)."""
 
@@ -103,16 +120,26 @@ class Histogram:
         with self._lock:
             return sum(self._samples)
 
+    @property
+    def samples(self) -> list[float]:
+        """A copy of the raw observations (export / merge input)."""
+        with self._lock:
+            return list(self._samples)
+
+    def merge(self, samples) -> None:
+        """Absorb raw observations from another histogram's ``samples``.
+
+        The trace collector's fleet rollup folds every per-process
+        histogram into one this way, so cross-rank percentiles are
+        computed over the union of observations, not averaged summaries.
+        """
+        incoming = [float(s) for s in samples]
+        with self._lock:
+            self._samples.extend(incoming)
+
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile of the observations, ``q`` in [0, 100]."""
-        if not 0 <= q <= 100:
-            raise ConfigurationError("percentile must be in [0, 100]")
-        with self._lock:
-            if not self._samples:
-                return 0.0
-            ordered = sorted(self._samples)
-        rank = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
-        return ordered[rank]
+        return nearest_rank(self.samples, q)
 
     def summary(self) -> dict:
         with self._lock:
@@ -140,6 +167,7 @@ class _NullInstrument:
     value = 0
     count = 0
     sum = 0.0
+    samples: list = []
 
     def inc(self, amount=1):
         return 0
@@ -151,6 +179,9 @@ class _NullInstrument:
         return None
 
     def observe(self, value) -> None:
+        return None
+
+    def merge(self, samples) -> None:
         return None
 
     def percentile(self, q):

@@ -330,6 +330,30 @@ class TestClusterIntegration:
         ]
         assert [e["type"] for e in persisted] == [e["type"] for e in events]
 
+        # Distributed telemetry: every incarnation exported its own
+        # stream, so the merged trace has a lane for the killed life
+        # (w1i0) AND the respawned one (w1i1), plus the coordinator's
+        # membership events — and the SIGKILL left a truncated tail the
+        # collector skipped without losing the complete events.
+        from repro.telemetry.collect import TraceCollector
+
+        collected = TraceCollector(str(tmp_path)).collect()
+        assert {"w0i0", "w1i0", "w1i1", "w2i0"} <= set(collected.rank_lanes)
+        assert collected.skipped_lines >= 1
+        lanes = {e["args"]["name"] for e in collected.trace["traceEvents"]
+                 if e.get("ph") == "M"}
+        assert "coordinator" in lanes
+        membership = [e for e in collected.trace["traceEvents"]
+                      if e.get("cat") == "membership"]
+        assert any(e["name"] == "generation_formed" for e in membership)
+        # Worker streams aligned via their generation anchors.
+        rank_streams = [s for s in collected.streams if s.role == "rank"]
+        assert any(s.alignment == "anchor" for s in rank_streams)
+        # The cluster report carries the same rollup: fleet-wide step
+        # counter sums every rank's completed steps.
+        assert report.rollup["counters"]["worker.steps"] > 0
+        assert set(report.rank_lanes) == set(collected.rank_lanes)
+
 
 class TestClusterCli:
     def test_cluster_command_writes_report(self, tmp_path, capsys):

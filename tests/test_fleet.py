@@ -28,7 +28,13 @@ from repro.units import KiB, MiB
 
 def _payload_sans_telemetry(payload):
     payload = dict(payload)
+    # Wall-clock-contaminated keys: the registry dump and the merged
+    # rollup carry real histogram samples, and the workdir is a temp
+    # path. Everything else — including tenant_traffic, which is pure
+    # counter sums — must be bit-stable for a fixed seed.
     payload.pop("telemetry", None)
+    payload.pop("rollup", None)
+    payload.pop("workdir", None)
     return payload
 
 
@@ -217,6 +223,22 @@ class TestFleetBench:
         assert "alerts" in payload_a
         assert set(fleet["fairness"]["per_tenant_service_seconds"]) <= \
             set(FleetConfig(seed=7).resolved_traffic().tenants)
+        # Per-tenant page traffic comes from the merged per-job event
+        # streams (deterministic: counters only) and agrees with the
+        # full rollup's copy.
+        traffic = fleet["tenant_traffic"]
+        assert traffic == payload_b["fleet"]["tenant_traffic"]
+        assert traffic == payload_a["rollup"]["tenant_traffic"]
+        assert set(traffic) <= \
+            set(FleetConfig(seed=7).resolved_traffic().tenants)
+        assert any(t["pages_moved_bytes"] > 0 for t in traffic.values())
+        assert sum(t["jobs"] for t in traffic.values()) == \
+            fleet["jobs_submitted"]
+        # Every job stream landed in the rollup with its tenant label.
+        jobs = [s for s in payload_a["rollup"]["per_source"].values()
+                if s["role"] == "job"]
+        assert len(jobs) == fleet["jobs_submitted"]
+        assert all(j["tenant"] in traffic for j in jobs)
 
     def test_fleet_report_renders(self):
         payload, _ = run_fleet_bench(FleetConfig(seed=7))
