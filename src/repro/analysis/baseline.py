@@ -10,6 +10,26 @@ churn) and a human reason why the pattern is accepted. ``repro check
 - a finding not in the baseline is **new** and fails the gate;
 - a baseline entry with no live finding is **resolved** (reported so
   the baseline can be pruned, but never a failure).
+
+With the cross-process rules (SA003-SA005) the accepted entries fall
+into three deliberate classes, each explained in its ``reason``:
+
+- **interprocedural strips** the single-file AST cannot see — the
+  supervisor builds ``replace(config, telemetry=None, sink=sink_spec)``
+  in ``run_cluster()`` and only the stripped copy ever reaches
+  ``_spawn_worker()``'s ``Process()`` call (SA003);
+- **ownership-by-protocol** — shared-memory attachers never unlink
+  because the creating rank does, after the drain barrier (SA004);
+- **bounded-by-someone-else blocking** — worker/coordinator ``recv()``
+  calls whose wait is bounded by pipe EOF on peer death, the
+  coordinator's heartbeat eviction, and ultimately the supervisor's
+  ``run_timeout`` SIGKILL; and in-process pipeline waits whose producer
+  shares the process and is joined at ``close()`` (SA005).
+
+New code should prefer the fixable patterns over new baseline entries:
+``poll(timeout)`` before ``recv()`` (see ``_bounded_recv`` in the
+supervisor), ``replace(...)`` strips before spawns, creator-side
+``close()`` + ``unlink()`` for shared memory.
 """
 
 from __future__ import annotations

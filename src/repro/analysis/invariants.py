@@ -38,8 +38,64 @@ SCHEDULE_INVARIANTS = (
 #: Concurrency lint rules (prong 2).
 SHARED_STATE_RACE = "SA001"  # cross-thread attribute access, unmediated
 LOCK_ORDER_CYCLE = "SA002"   # inconsistent nested lock-acquisition order
+SPAWN_PICKLE = "SA003"       # thread/lock/telemetry state crossing a spawn
+SHM_LIFECYCLE = "SA004"      # shared_memory created, never close+unlink'd
+UNBOUNDED_RECV = "SA005"     # cross-process recv/wait with no timeout
 
-LINT_RULES = (SHARED_STATE_RACE, LOCK_ORDER_CYCLE)
+LINT_RULES = (
+    SHARED_STATE_RACE,
+    LOCK_ORDER_CYCLE,
+    SPAWN_PICKLE,
+    SHM_LIFECYCLE,
+    UNBOUNDED_RECV,
+)
+
+#: Membership-protocol invariants (prong 3, the coordinator model
+#: checker). See docs/static-analysis.md for the catalog.
+GENERATION_MONOTONIC = "generation-monotonic"
+FENCE_NEVER_PATCH = "fence-never-patch"
+UNIQUE_RANK_PER_SLOT = "unique-rank-per-slot"
+BARRIER_RELEASE_FULL = "barrier-release-full"
+NO_SPLIT_BRAIN = "no-split-brain"
+INCARNATION_BUMP = "incarnation-bump"
+RENDEZVOUS_CONVERGENCE = "rendezvous-convergence"
+COMPLETE_IMPLIES_DONE = "complete-implies-done"
+
+PROTOCOL_INVARIANTS = (
+    GENERATION_MONOTONIC,
+    FENCE_NEVER_PATCH,
+    UNIQUE_RANK_PER_SLOT,
+    BARRIER_RELEASE_FULL,
+    NO_SPLIT_BRAIN,
+    INCARNATION_BUMP,
+    RENDEZVOUS_CONVERGENCE,
+    COMPLETE_IMPLIES_DONE,
+)
+
+#: Multi-rank collective-schedule invariants (prong 3, planned ranks).
+COLLECTIVE_ORDER = "collective-order"    # same op sequence on every rank
+COLLECTIVE_SHAPE = "collective-shape"    # agreeing shard lengths
+COLLECTIVE_WORLD = "collective-world"    # every rank plans the same world
+
+COLLECTIVE_INVARIANTS = (
+    COLLECTIVE_ORDER,
+    COLLECTIVE_SHAPE,
+    COLLECTIVE_WORLD,
+)
+
+#: Post-hoc cluster-workdir replay invariants (membership log + per-rank
+#: telemetry streams from a real run).
+FENCE_DISCIPLINE = "fence-discipline"        # eviction/retire implies fence
+COLLECTIVE_AGREEMENT = "collective-agreement"  # executed sequences agree
+
+CLUSTER_REPLAY_INVARIANTS = (
+    GENERATION_MONOTONIC,
+    UNIQUE_RANK_PER_SLOT,
+    INCARNATION_BUMP,
+    FENCE_DISCIPLINE,
+    COMPLETE_IMPLIES_DONE,
+    COLLECTIVE_AGREEMENT,
+)
 
 
 @dataclass(frozen=True)
@@ -78,6 +134,10 @@ class VerificationResult:
     invariants_checked: tuple = SCHEDULE_INVARIANTS
     #: Replay statistics (task/trigger counts, peak live bytes, budget).
     stats: dict = field(default_factory=dict)
+    #: What was verified: "schedule" (symbolic replay), "protocol"
+    #: (coordinator model exploration), "collective" (multi-rank plan
+    #: agreement) or "cluster" (post-hoc workdir replay).
+    kind: str = "schedule"
 
     @property
     def ok(self) -> bool:
@@ -90,6 +150,7 @@ class VerificationResult:
         """The machine-readable payload (lands in BENCH_telemetry.json)."""
         return {
             "ok": self.ok,
+            "kind": self.kind,
             "model": self.model_name,
             "invariants": [
                 {"name": name, "violations": len(self.of(name))}
@@ -103,11 +164,11 @@ class VerificationResult:
         """One line for CLI output and run reports."""
         if self.ok:
             return (
-                f"schedule verified: {len(self.invariants_checked)} "
+                f"{self.kind} verified: {len(self.invariants_checked)} "
                 f"invariants, 0 violations"
             )
         worst = self.violations[0]
         return (
-            f"schedule INVALID: {len(self.violations)} violation(s), "
+            f"{self.kind} INVALID: {len(self.violations)} violation(s), "
             f"first {worst.invariant} at trigger {worst.trigger_id}"
         )

@@ -16,9 +16,26 @@ builds a **thread-role map** per class and flags:
 - ``SA002`` *lock-order cycle* — two locks acquired nested in opposite
   orders somewhere in the tree (the classic ABBA deadlock).
 
+Three cross-*process* rules extend the catalog to the cluster layer
+(PR 6-8), where the hazards move from threads to spawn boundaries,
+shared memory and blocking pipes:
+
+- ``SA003`` *spawn-boundary pickling* — a config object whose class
+  declares a thread/lock/telemetry-typed field reaches a
+  ``Process(args=...)`` spawn without that field being stripped via
+  ``dataclasses.replace(...)`` first. This is exactly the bug class the
+  telemetry export work fixed by hand with the picklable ``SinkSpec``.
+- ``SA004`` *shared-memory lifecycle* — a scope creates or attaches a
+  ``SharedMemory`` segment but never calls both ``close()`` and
+  ``unlink()``, leaking the segment past the process's life.
+- ``SA005`` *unbounded blocking receive* — a cross-process ``recv()``
+  with no ``poll()`` guard in the same method, or a ``wait()``/
+  ``wait_for()``/``join()`` with no timeout: one lost peer turns it
+  into a distributed deadlock.
+
 Classes that never start a thread are single-threaded by construction
-and are skipped. Findings carry a stable fingerprint
-(``rule:path:Class.attr`` — no line numbers) so the checked-in baseline
+and are skipped by SA001. Findings carry a stable fingerprint
+(``rule:path:subject`` — no line numbers) so the checked-in baseline
 survives unrelated edits; ``repro check --self`` fails CI only on
 fingerprints not in the baseline.
 """
@@ -29,7 +46,27 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.invariants import LOCK_ORDER_CYCLE, SHARED_STATE_RACE
+from repro.analysis.invariants import (
+    LOCK_ORDER_CYCLE,
+    SHARED_STATE_RACE,
+    SHM_LIFECYCLE,
+    SPAWN_PICKLE,
+    UNBOUNDED_RECV,
+)
+
+#: Field types that must not cross a ``Process`` spawn boundary without
+#: being stripped first (``dataclasses.replace(cfg, field=None, ...)``).
+#: Live threads, locks and telemetry registries either fail to pickle
+#: outright or arrive in the child as dead clones.
+UNPICKLABLE_TYPES = frozenset({
+    "Thread", "Lock", "RLock", "Condition", "Event", "Semaphore",
+    "BoundedSemaphore", "Barrier", "Queue", "SimpleQueue", "Connection",
+    "Listener", "TelemetryLike", "Telemetry", "EventBus",
+})
+
+#: Blocking receive calls on a cross-process pipe; a ``poll(timeout)``
+#: call in the same method is the sanctioned guard.
+RECV_CALLS = frozenset({"recv", "recv_bytes"})
 
 #: Constructors whose instances are considered thread-safe mediation.
 MEDIATED_CONSTRUCTORS = frozenset({
@@ -374,6 +411,248 @@ def _cycle_findings(edges: dict) -> list[LintFinding]:
     return findings
 
 
+def _annotation_types(node: ast.expr) -> set:
+    """Every type name mentioned by an annotation expression.
+
+    ``TelemetryLike | None`` yields ``{"TelemetryLike", "None"}``;
+    quoted forward references are tokenised the same way.
+    """
+    names: set = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            token = ""
+            for char in sub.value + " ":
+                if char.isalnum() or char == "_":
+                    token += char
+                elif token:
+                    names.add(token)
+                    token = ""
+    return names
+
+
+def _class_field_types(tree: ast.Module) -> dict:
+    """``{class: {field: hazardous type}}`` from class-body annotations."""
+    out: dict = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        fields = {}
+        for item in node.body:
+            if (
+                isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+            ):
+                hazard = _annotation_types(item.annotation) & UNPICKLABLE_TYPES
+                if hazard:
+                    fields[item.target.id] = sorted(hazard)[0]
+        if fields:
+            out[node.name] = fields
+    return out
+
+
+def _functions(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _spawn_findings(path: str, tree: ast.Module,
+                    class_fields: dict) -> list[LintFinding]:
+    """SA003: hazardous-typed config fields reaching ``Process(args=...)``.
+
+    Per function, track which names hold instances of classes with
+    :data:`UNPICKLABLE_TYPES` fields — from parameter annotations, from
+    direct construction, and through ``dataclasses.replace`` chains
+    (every keyword override clears that field). Any such name appearing
+    in a ``Process(... args=(...))`` payload with a hazardous field
+    still live is flagged. The clean idiom is the supervisor's
+    ``replace(config, telemetry=None, sink=sink_spec)`` strip.
+    """
+    findings = []
+    seen: set = set()
+    for func in _functions(tree):
+        local: dict = {}
+        arg_nodes = (
+            list(func.args.posonlyargs) + list(func.args.args)
+            + list(func.args.kwonlyargs)
+        )
+        for arg in arg_nodes:
+            if arg.annotation is None:
+                continue
+            for cls in sorted(_annotation_types(arg.annotation)):
+                if cls in class_fields:
+                    local[arg.arg] = (cls, frozenset())
+                    break
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                continue
+            name = node.targets[0].id
+            call = node.value
+            ctor = _call_name(call.func)
+            if ctor in class_fields:
+                local[name] = (ctor, frozenset())
+            elif (
+                ctor == "replace"
+                and call.args
+                and isinstance(call.args[0], ast.Name)
+                and call.args[0].id in local
+            ):
+                cls, stripped = local[call.args[0].id]
+                overridden = {kw.arg for kw in call.keywords if kw.arg}
+                local[name] = (cls, stripped | overridden)
+        if not local:
+            continue
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Call)
+                and _call_name(node.func) == "Process"
+            ):
+                continue
+            payload = []
+            for keyword in node.keywords:
+                if keyword.arg == "args" and isinstance(
+                    keyword.value, (ast.Tuple, ast.List)
+                ):
+                    payload.extend(keyword.value.elts)
+            for element in payload:
+                if not isinstance(element, ast.Name):
+                    continue
+                resolved = local.get(element.id)
+                if resolved is None:
+                    continue
+                cls, stripped = resolved
+                for fname, tname in sorted(class_fields[cls].items()):
+                    if fname in stripped:
+                        continue
+                    subject = f"{cls}.{fname}"
+                    if (path, subject) in seen:
+                        continue
+                    seen.add((path, subject))
+                    findings.append(LintFinding(
+                        rule=SPAWN_PICKLE,
+                        path=path,
+                        subject=subject,
+                        message=(
+                            f"{tname}-typed field {fname!r} of {cls} "
+                            f"reaches the Process(...) spawn in "
+                            f"{func.name}() without being stripped via "
+                            f"dataclasses.replace(...) — it cannot "
+                            f"cross the pickle boundary alive"
+                        ),
+                        lines=(node.lineno,),
+                    ))
+    return findings
+
+
+def _shm_findings(path: str, tree: ast.Module) -> list[LintFinding]:
+    """SA004: SharedMemory created/attached without close() AND unlink().
+
+    Scope is the enclosing class (so a segment opened in one method and
+    released in another is fine) or a module-level function. The
+    reference-clean pattern is the shared-memory transport's
+    ``finally: seg.close(); seg.unlink()``.
+    """
+    findings = []
+    scopes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+    class_spans = [
+        (s.lineno, s.end_lineno or s.lineno) for s in scopes
+    ]
+    for node in _functions(tree):
+        inside_class = any(
+            lo <= node.lineno <= hi for lo, hi in class_spans
+        )
+        if not inside_class:
+            scopes.append(node)
+    for scope in scopes:
+        calls = {
+            _call_name(n.func)
+            for n in ast.walk(scope)
+            if isinstance(n, ast.Call)
+        }
+        if "SharedMemory" not in calls:
+            continue
+        missing = sorted({"close", "unlink"} - calls)
+        if not missing:
+            continue
+        findings.append(LintFinding(
+            rule=SHM_LIFECYCLE,
+            path=path,
+            subject=scope.name,
+            message=(
+                f"{scope.name} opens a SharedMemory segment but never "
+                f"calls {' or '.join(missing)} — the segment (and its "
+                f"backing file under /dev/shm) outlives the process"
+            ),
+            lines=(scope.lineno,),
+        ))
+    return findings
+
+
+def _recv_findings(path: str, tree: ast.Module) -> list[LintFinding]:
+    """SA005: cross-process receive/wait with no bound on blocking.
+
+    Flags ``*.recv()`` / ``*.recv_bytes()`` in a method with no
+    ``poll(...)`` guard, plus zero-argument ``wait()`` / ``join()`` /
+    ``get()`` and ``wait_for(pred)`` with no timeout. One lost peer
+    turns any of these into a process that can never be re-scheduled.
+    """
+    findings = []
+    seen: set = set()
+
+    def scan(scope_name: str, func) -> None:
+        calls = [n for n in ast.walk(func) if isinstance(n, ast.Call)]
+        has_poll = any(_call_name(c.func) == "poll" for c in calls)
+        for call in calls:
+            name = _call_name(call.func)
+            if name is None or not isinstance(call.func, ast.Attribute):
+                continue
+            bare = not call.args and not call.keywords
+            timed = (
+                len(call.args) >= 2
+                or any(k.arg == "timeout" for k in call.keywords)
+            )
+            if name in RECV_CALLS and not has_poll:
+                reason = "with no poll(timeout) guard in the same method"
+            elif name in {"wait", "join", "get"} and bare:
+                reason = "with no timeout argument"
+            elif name == "wait_for" and not timed:
+                reason = "with no timeout argument"
+            else:
+                continue
+            subject = f"{scope_name}.{name}"
+            if (path, subject) in seen:
+                continue
+            seen.add((path, subject))
+            findings.append(LintFinding(
+                rule=UNBOUNDED_RECV,
+                path=path,
+                subject=subject,
+                message=(
+                    f"{scope_name} blocks on {name}() {reason} — if the "
+                    f"peer dies this call never returns"
+                ),
+                lines=(call.lineno,),
+            ))
+
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scan(f"{node.name}.{item.name}", item)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan(node.name, node)
+    return findings
+
+
 class ConcurrencyLinter:
     """Scans a source tree and returns :class:`LintFinding` records."""
 
@@ -383,12 +662,13 @@ class ConcurrencyLinter:
     def run(self) -> list[LintFinding]:
         findings: list[LintFinding] = []
         lock_edges: dict = {}
+        trees: list = []
         for source in sorted(self.root.rglob("*.py")):
             if "__pycache__" in source.parts:
                 continue
             rel = source.relative_to(self.root).as_posix()
             try:
-                tree = ast.parse(source.read_text())
+                trees.append((rel, ast.parse(source.read_text())))
             except SyntaxError as exc:
                 findings.append(LintFinding(
                     rule=SHARED_STATE_RACE,
@@ -396,7 +676,15 @@ class ConcurrencyLinter:
                     subject="<parse>",
                     message=f"could not parse: {exc}",
                 ))
-                continue
+        # Pass 1: hazardous-field map across the whole tree, so a config
+        # class defined in one module is recognised at a spawn site in
+        # another (ClusterConfig lives in protocol.py, the Process()
+        # call in supervisor.py).
+        class_fields: dict = {}
+        for _rel, tree in trees:
+            class_fields.update(_class_field_types(tree))
+        # Pass 2: per-file rules.
+        for rel, tree in trees:
             for node in ast.walk(tree):
                 if not isinstance(node, ast.ClassDef):
                     continue
@@ -407,6 +695,9 @@ class ConcurrencyLinter:
                     lock_edges.setdefault(key, set()).add(
                         (rel, f"{info.name}.{inner}")
                     )
+            findings.extend(_spawn_findings(rel, tree, class_fields))
+            findings.extend(_shm_findings(rel, tree))
+            findings.extend(_recv_findings(rel, tree))
         findings.extend(_cycle_findings(lock_edges))
         findings.sort(key=lambda f: (f.rule, f.path, f.subject))
         return findings

@@ -1,0 +1,425 @@
+"""Multi-rank collective-schedule verification.
+
+Two entry points extend the PR-4 single-rank ``ScheduleVerifier`` to
+the cluster:
+
+- **Planned agreement** (:func:`verify_collective_programs`): every
+  rank's schedule must issue an *identical ordered sequence* of
+  collectives with *agreeing payload sizes*. A rank whose plan gathers
+  in a different order — or with a different shard length — deadlocks
+  the whole group at runtime, because ZeRO collectives match purely by
+  call order. Programs come from the worker step loop
+  (:func:`worker_collective_program`), from any PR-4
+  :class:`~repro.scheduler.unified.IterationPlan`
+  (:func:`collective_program_from_plan`), or hand-built.
+- **Post-hoc replay** (:func:`verify_cluster_workdir`): replay a real
+  run's ``membership_events.jsonl`` and per-rank telemetry streams
+  (PR 8) and verify the fencing discipline actually held — generations
+  monotonic and fenced-never-patched, ranks dense and slot-unique,
+  evicted lives only readmitted with a bumped incarnation, and every
+  rank of a generation having executed byte-identical collective
+  sequences per step (prefixes allowed: a fenced or killed rank stops
+  mid-sequence).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.analysis.invariants import (
+    CLUSTER_REPLAY_INVARIANTS,
+    COLLECTIVE_AGREEMENT,
+    COLLECTIVE_INVARIANTS,
+    COLLECTIVE_ORDER,
+    COLLECTIVE_SHAPE,
+    COLLECTIVE_WORLD,
+    COMPLETE_IMPLIES_DONE,
+    FENCE_DISCIPLINE,
+    GENERATION_MONOTONIC,
+    INCARNATION_BUMP,
+    UNIQUE_RANK_PER_SLOT,
+    VerificationResult,
+    Violation,
+)
+
+__all__ = [
+    "CollectiveOp",
+    "collective_program_from_plan",
+    "verify_cluster_workdir",
+    "verify_collective_programs",
+    "worker_collective_program",
+]
+
+_WORKER_ID = re.compile(r"^w(\d+)i(\d+)$")
+
+#: Span names that are collectives in the worker's step loop.
+_COLLECTIVE_SPANS = frozenset(("reduce_scatter", "all_gather"))
+
+
+@dataclass(frozen=True)
+class CollectiveOp:
+    """One collective call a rank plans (or executed): kind + payload."""
+
+    kind: str      # "all_gather" | "reduce_scatter"
+    nbytes: int    # payload bytes this rank contributes
+    label: str = ""
+
+
+def worker_collective_program(config, world: int, rank: int,
+                              start_step: int = 0,
+                              total_elements: int | None = None) -> list:
+    """The ordered collectives one rank issues in one generation.
+
+    Mirrors ``repro.cluster.worker._run_generation``: per step a
+    gradient ``reduce_scatter`` (full flat fp32 state), a parameter
+    ``all_gather`` (one padded shard), and the float64 loss
+    ``all_gather``; each checkpoint step adds three full-state shard
+    all-gathers (master/m/v). ``rank`` does not change the result —
+    that *is* the invariant — but stays in the signature so per-rank
+    configuration bugs surface as disagreeing programs.
+    """
+    from repro.zero.collectives import shard_length
+
+    if total_elements is None:
+        from repro.cluster.worker import _build_model
+
+        _, params = _build_model(config)
+        total_elements = sum(p.data.size for p in params)
+    shard = shard_length(total_elements, world)
+    program: list[CollectiveOp] = []
+    for step in range(start_step, config.steps):
+        program.append(CollectiveOp(
+            "reduce_scatter", total_elements * 4, f"step{step}/grad"
+        ))
+        program.append(CollectiveOp(
+            "all_gather", shard * 4, f"step{step}/params"
+        ))
+        program.append(CollectiveOp("all_gather", 8, f"step{step}/loss"))
+        completed = step + 1
+        if completed % config.checkpoint_every == 0:
+            for name in ("master", "m", "v"):
+                program.append(CollectiveOp(
+                    "all_gather", shard * 4, f"ckpt{completed}/{name}"
+                ))
+    return program
+
+
+def collective_program_from_plan(plan) -> list:
+    """Extract the ordered collective sequence from an ``IterationPlan``.
+
+    Any PR-4 schedule is admissible input: the communicator tasks
+    (``ALL_GATHER``/``REDUCE_SCATTER``) in schedule order are exactly
+    what each rank would issue, so per-rank plans can be checked for
+    agreement with :func:`verify_collective_programs`.
+    """
+    from repro.scheduler.tasks import Operation
+
+    program: list[CollectiveOp] = []
+    for task in plan.schedule:
+        if task.operation in (Operation.ALL_GATHER, Operation.REDUCE_SCATTER):
+            program.append(CollectiveOp(
+                task.operation.value,
+                int(task.nbytes),
+                f"t{task.trigger_id}/L{task.layer_index}",
+            ))
+    return program
+
+
+def verify_collective_programs(programs: dict) -> VerificationResult:
+    """Check that every rank's program is the same ordered sequence.
+
+    ``programs`` maps rank -> list of :class:`CollectiveOp`. Stops at
+    the first disagreement (one minimal counterexample, mirroring the
+    schedule verifier).
+    """
+    violations: list[Violation] = []
+    ranks = sorted(programs)
+    world = len(ranks)
+    if ranks != list(range(world)):
+        violations.append(Violation(
+            invariant=COLLECTIVE_WORLD,
+            trigger_id=0,
+            message=(
+                f"rank set {ranks} is not the dense 0..{world - 1} the "
+                f"collectives assume"
+            ),
+        ))
+    if not violations and world:
+        reference = programs[ranks[0]]
+        for rank in ranks[1:]:
+            program = programs[rank]
+            if len(program) != len(reference):
+                violations.append(Violation(
+                    invariant=COLLECTIVE_ORDER,
+                    trigger_id=min(len(program), len(reference)),
+                    message=(
+                        f"rank {rank} plans {len(program)} collectives, "
+                        f"rank {ranks[0]} plans {len(reference)} — the "
+                        f"shorter rank deadlocks the group at the first "
+                        f"unmatched call"
+                    ),
+                ))
+                break
+            mismatch = next(
+                (i for i, (a, b) in enumerate(zip(reference, program))
+                 if a.kind != b.kind), None,
+            )
+            if mismatch is not None:
+                a, b = reference[mismatch], program[mismatch]
+                violations.append(Violation(
+                    invariant=COLLECTIVE_ORDER,
+                    trigger_id=mismatch,
+                    message=(
+                        f"collective #{mismatch}: rank {ranks[0]} issues "
+                        f"{a.kind} ({a.label}) but rank {rank} issues "
+                        f"{b.kind} ({b.label}) — order must be identical "
+                        f"on every rank"
+                    ),
+                ))
+                break
+            mismatch = next(
+                (i for i, (a, b) in enumerate(zip(reference, program))
+                 if a.nbytes != b.nbytes), None,
+            )
+            if mismatch is not None:
+                a, b = reference[mismatch], program[mismatch]
+                violations.append(Violation(
+                    invariant=COLLECTIVE_SHAPE,
+                    trigger_id=mismatch,
+                    message=(
+                        f"collective #{mismatch} ({a.kind}, {a.label}): "
+                        f"rank {ranks[0]} contributes {a.nbytes} bytes but "
+                        f"rank {rank} contributes {b.nbytes} — shard "
+                        f"lengths must agree"
+                    ),
+                ))
+                break
+    ops = len(programs[ranks[0]]) if ranks else 0
+    return VerificationResult(
+        model_name=f"collective-programs/w{world}",
+        kind="collective",
+        violations=violations,
+        invariants_checked=COLLECTIVE_INVARIANTS,
+        stats={"world": world, "ops_per_rank": ops},
+    )
+
+
+# ----------------------------------------------------------------------
+# Post-hoc workdir replay
+# ----------------------------------------------------------------------
+def _parse_worker(worker: str) -> tuple | None:
+    match = _WORKER_ID.match(worker)
+    if match is None:
+        return None
+    return int(match.group(1)), int(match.group(2))
+
+
+def _replay_membership(events: list) -> list:
+    """Replay the membership log against the fencing discipline."""
+    violations: list[Violation] = []
+    current_generation = 0
+    fenced_generations: set[int] = set()
+    admitted: dict[int, int] = {}   # slot -> highest admitted incarnation
+    evicted_lives: set[tuple] = set()
+    eviction_generations: set[int] = set()
+
+    for index, event in enumerate(events):
+        etype = event.get("type")
+        generation = int(event.get("generation", 0))
+        if etype == "generation_formed":
+            if generation <= current_generation:
+                violations.append(Violation(
+                    invariant=GENERATION_MONOTONIC,
+                    trigger_id=index,
+                    message=(
+                        f"event {index}: generation {generation} formed "
+                        f"after generation {current_generation}"
+                    ),
+                ))
+            if (current_generation > 0
+                    and current_generation not in fenced_generations):
+                violations.append(Violation(
+                    invariant=FENCE_DISCIPLINE,
+                    trigger_id=index,
+                    message=(
+                        f"event {index}: generation {generation} formed "
+                        f"while generation {current_generation} was never "
+                        f"fenced — membership was patched, not fenced"
+                    ),
+                ))
+            members = event.get("members", {})
+            parsed = {w: _parse_worker(w) for w in members}
+            slots = [p[0] for p in parsed.values() if p is not None]
+            ranks = sorted(int(r) for r in members.values())
+            if len(set(slots)) != len(slots) or ranks != list(range(len(ranks))):
+                violations.append(Violation(
+                    invariant=UNIQUE_RANK_PER_SLOT,
+                    trigger_id=index,
+                    message=(
+                        f"event {index}: generation {generation} members "
+                        f"{members} do not form a unique slot / dense rank "
+                        f"assignment"
+                    ),
+                ))
+            for worker, parsed_id in parsed.items():
+                if parsed_id is None:
+                    continue
+                slot, incarnation = parsed_id
+                if (slot, incarnation) in evicted_lives:
+                    violations.append(Violation(
+                        invariant=INCARNATION_BUMP,
+                        trigger_id=index,
+                        message=(
+                            f"event {index}: {worker} rejoined generation "
+                            f"{generation} with the same incarnation it "
+                            f"was evicted with — respawns must bump the "
+                            f"incarnation"
+                        ),
+                    ))
+                previous = admitted.get(slot)
+                if previous is not None and incarnation < previous:
+                    violations.append(Violation(
+                        invariant=INCARNATION_BUMP,
+                        trigger_id=index,
+                        message=(
+                            f"event {index}: slot {slot} admitted at "
+                            f"incarnation {incarnation} after already "
+                            f"reaching {previous}"
+                        ),
+                    ))
+                admitted[slot] = max(incarnation, admitted.get(slot, 0))
+            current_generation = max(current_generation, generation)
+        elif etype == "fenced":
+            fenced_generations.add(generation)
+        elif etype == "evicted":
+            parsed_id = _parse_worker(event.get("worker", ""))
+            if parsed_id is not None:
+                evicted_lives.add(parsed_id)
+            eviction_generations.add(generation)
+        elif etype == "complete":
+            if generation in fenced_generations:
+                violations.append(Violation(
+                    invariant=COMPLETE_IMPLIES_DONE,
+                    trigger_id=index,
+                    message=(
+                        f"event {index}: the run completed in generation "
+                        f"{generation} after that generation was fenced"
+                    ),
+                ))
+    # Every eviction must have fenced its generation by end of log.
+    unfenced = sorted(eviction_generations - fenced_generations)
+    if unfenced:
+        violations.append(Violation(
+            invariant=FENCE_DISCIPLINE,
+            trigger_id=len(events),
+            message=(
+                f"generations {unfenced} evicted a member but were never "
+                f"fenced — survivors could complete collectives with a "
+                f"stale world"
+            ),
+        ))
+    return violations
+
+
+def _executed_collectives(stream) -> dict:
+    """Per (generation, step): the ordered collectives one rank ran."""
+    steps = [
+        span for span in stream.spans
+        if str(span.get("name", "")).startswith("step")
+        and isinstance(span.get("args"), dict)
+        and "generation" in span["args"]
+    ]
+    out: dict = {}
+    for step_span in steps:
+        args = step_span["args"]
+        key = (int(args["generation"]), int(args["step"]))
+        inner = sorted(
+            (
+                span for span in stream.spans
+                if span.get("name") in _COLLECTIVE_SPANS
+                and span.get("start", 0.0) >= step_span.get("start", 0.0)
+                and span.get("end", 0.0) <= step_span.get("end", 0.0)
+            ),
+            key=lambda span: span.get("start", 0.0),
+        )
+        out[key] = [
+            (span["name"], (span.get("args") or {}).get("nbytes"))
+            for span in inner
+        ]
+    return out
+
+
+def _agreement_violations(sequences: dict) -> list:
+    """Prefix-compatibility of executed collectives across ranks.
+
+    ``sequences`` maps (generation, step) -> {source: [(kind, nbytes)]}.
+    A killed or fenced rank legally stops mid-sequence, so shorter
+    sequences must be prefixes of longer ones — any divergence before
+    the shorter one ends means two ranks matched different collectives.
+    """
+    violations: list[Violation] = []
+    for key in sorted(sequences):
+        by_source = sequences[key]
+        if len(by_source) < 2:
+            continue
+        generation, step = key
+        reference_source = max(by_source, key=lambda s: len(by_source[s]))
+        reference = by_source[reference_source]
+        for source in sorted(by_source):
+            if source == reference_source:
+                continue
+            sequence = by_source[source]
+            for i, (kind, nbytes) in enumerate(sequence):
+                ref_kind, ref_nbytes = reference[i]
+                same_bytes = (
+                    nbytes is None or ref_nbytes is None
+                    or nbytes == ref_nbytes
+                )
+                if kind == ref_kind and same_bytes:
+                    continue
+                violations.append(Violation(
+                    invariant=COLLECTIVE_AGREEMENT,
+                    trigger_id=step,
+                    message=(
+                        f"generation {generation} step {step}, collective "
+                        f"#{i}: {source} executed {kind}"
+                        f"({nbytes} bytes) but {reference_source} executed "
+                        f"{ref_kind}({ref_nbytes} bytes)"
+                    ),
+                ))
+                break
+            else:
+                continue
+            break
+    return violations
+
+
+def verify_cluster_workdir(workdir: str) -> VerificationResult:
+    """Replay a real run's membership log + rank streams post-hoc."""
+    from repro.telemetry.collect import load_membership, load_streams
+
+    events = load_membership(workdir)
+    violations = _replay_membership(events)
+
+    streams = [s for s in load_streams(workdir) if s.role == "rank"]
+    sequences: dict = {}
+    executed = 0
+    for stream in streams:
+        for key, ops in _executed_collectives(stream).items():
+            sequences.setdefault(key, {})[stream.source] = ops
+            executed += len(ops)
+    violations.extend(_agreement_violations(sequences))
+
+    return VerificationResult(
+        model_name=f"cluster-workdir/{workdir}",
+        kind="cluster",
+        violations=violations,
+        invariants_checked=CLUSTER_REPLAY_INVARIANTS,
+        stats={
+            "membership_events": len(events),
+            "rank_streams": len(streams),
+            "steps_observed": len(sequences),
+            "collectives_observed": executed,
+        },
+    )

@@ -158,6 +158,36 @@ def check(plan, gpu_budget_bytes, update_interval=1):
     )
 
 
+def check_protocol(depth=6, world_size=2):
+    """Model-check the cluster coordinator's membership protocol.
+
+    Exhaustively explores every interleaving of joins, crashes,
+    barriers, evictions and re-formations up to ``depth`` actions,
+    driving the *same* transition-rule table the real coordinator
+    dispatches. Returns a
+    :class:`repro.analysis.invariants.VerificationResult` whose
+    violations (if any) carry minimal action-trace counterexamples.
+    """
+    from repro.analysis.protocol import ProtocolConfig, explore_protocol
+
+    return explore_protocol(
+        depth=depth, config=ProtocolConfig(world_size=world_size)
+    )
+
+
+def check_cluster(workdir):
+    """Replay a finished cluster run against the protocol invariants.
+
+    Reads ``membership_events.jsonl`` and the per-rank telemetry
+    streams from ``workdir`` (a ``repro cluster`` output directory) and
+    verifies the fencing discipline actually held, including
+    byte-identical per-step collective sequences across ranks.
+    """
+    from repro.analysis.protocol import verify_cluster_workdir
+
+    return verify_cluster_workdir(workdir)
+
+
 __all__ = [
     "AngelConfig",
     "AngelModel",
@@ -166,6 +196,8 @@ __all__ = [
     "TelemetryLike",
     "chaos",
     "check",
+    "check_cluster",
+    "check_protocol",
     "cluster",
     "fleet",
     "fleet_bench",

@@ -189,6 +189,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         else:
             print(f"verification    : schedule INVALID: "
                   f"{len(violations)} violation(s)")
+    protocol = report.get("protocol_verification")
+    if protocol:
+        stats = protocol.get("stats") or {}
+        if protocol.get("ok"):
+            print(f"protocol        : verified over {stats.get('states', '?')} "
+                  f"states ({len(protocol.get('invariants', []))} membership "
+                  f"invariants)")
+        else:
+            print(f"protocol        : INVALID: "
+                  f"{len(protocol.get('violations', []))} violation(s)")
     print("per-tier traffic:")
     for key, value in sorted(report["per_tier_edge_bytes"].items()):
         print(f"  {key:<40} {value / MiB:8.2f} MiB")
@@ -378,6 +388,47 @@ def _check_schedule(args: argparse.Namespace, payload: dict) -> int:
     return 0 if result.ok else 1
 
 
+def _print_violations(result) -> None:
+    for violation in result.violations:
+        print(f"  [{violation.invariant}] trigger "
+              f"{violation.trigger_id}: {violation.message}")
+        for trigger, event in violation.provenance:
+            print(f"      provenance: trigger {trigger}: {event}")
+
+
+def _check_protocol(args: argparse.Namespace, payload: dict) -> int:
+    """Prong 3: model-check the coordinator membership protocol."""
+    from repro.analysis.protocol import ProtocolConfig, explore_protocol
+
+    config = ProtocolConfig(world_size=args.workers)
+    result = explore_protocol(depth=args.depth, config=config)
+    payload["protocol"] = result.to_dict()
+    if not args.json:
+        stats = result.stats
+        print(f"protocol check  : {result.model_name}")
+        print(f"  {result.summary()} ({stats['states']} states, "
+              f"{stats['transitions']} transitions explored, "
+              f"{stats['terminal_complete']} complete terminal state(s))")
+        _print_violations(result)
+    return 0 if result.ok else 1
+
+
+def _check_cluster(args: argparse.Namespace, payload: dict) -> int:
+    """Prong 4: replay a real cluster workdir against the protocol."""
+    from repro.analysis.protocol import verify_cluster_workdir
+
+    result = verify_cluster_workdir(args.cluster)
+    payload["cluster"] = result.to_dict()
+    if not args.json:
+        stats = result.stats
+        print(f"cluster check   : {args.cluster}")
+        print(f"  {result.summary()} ({stats['membership_events']} "
+              f"membership event(s), {stats['rank_streams']} rank "
+              f"stream(s), {stats['collectives_observed']} collective(s))")
+        _print_violations(result)
+    return 0 if result.ok else 1
+
+
 def _check_self(args: argparse.Namespace, payload: dict) -> int:
     """Prong 2: concurrency-lint the repo against the baseline."""
     from pathlib import Path
@@ -425,15 +476,26 @@ def _check_self(args: argparse.Namespace, payload: dict) -> int:
 def _cmd_check(args: argparse.Namespace) -> int:
     import json
 
-    # Neither flag selects a prong: run both (the CI gate's default).
-    run_self = args.self_lint or not args.schedule
-    run_schedule = args.schedule or not args.self_lint
+    # No explicit prong selected: run every workdir-free prong (the CI
+    # gate's default). --cluster needs a finished run, so it only ever
+    # runs when asked for.
+    explicit = (
+        args.self_lint or args.schedule or args.protocol
+        or bool(args.cluster)
+    )
+    run_self = args.self_lint or not explicit
+    run_schedule = args.schedule or not explicit
+    run_protocol = args.protocol or not explicit
     payload: dict = {}
     status = 0
     if run_self:
         status = max(status, _check_self(args, payload))
     if run_schedule:
         status = max(status, _check_schedule(args, payload))
+    if run_protocol:
+        status = max(status, _check_protocol(args, payload))
+    if args.cluster:
+        status = max(status, _check_cluster(args, payload))
     if args.json:
         print(json.dumps(payload, indent=2))
     elif status == 0:
@@ -913,8 +975,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser(
         "check",
-        help="static analysis: schedule verifier + concurrency lint "
-             "(repro.analysis)",
+        help="static analysis: schedule verifier, concurrency lint, "
+             "protocol model checker, cluster replay (repro.analysis)",
     )
     check.add_argument("--self", dest="self_lint", action="store_true",
                        help="concurrency-lint the repro sources against the "
@@ -932,6 +994,19 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--servers", type=int, default=1)
     check.add_argument("--batch", type=int, default=4)
     check.add_argument("--seq-len", type=int, default=2048)
+    check.add_argument("--protocol", action="store_true",
+                       help="model-check the coordinator membership "
+                            "protocol: exhaustive bounded-depth exploration "
+                            "against the invariant catalog")
+    check.add_argument("--depth", type=int, default=6,
+                       help="exploration depth for --protocol (actions per "
+                            "interleaving, default 6)")
+    check.add_argument("--workers", type=int, default=2,
+                       help="modelled world size for --protocol (default 2)")
+    check.add_argument("--cluster", default=None, metavar="WORKDIR",
+                       help="replay a finished cluster run's membership log "
+                            "and per-rank telemetry against the fencing and "
+                            "collective-agreement invariants")
     check.add_argument("--baseline", default=None,
                        help="lint baseline path (default: "
                             "concurrency_baseline.json at the repo root)")

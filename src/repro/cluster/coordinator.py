@@ -18,8 +18,13 @@ One process (or thread, in tests) owns the cluster's membership truth:
   for the deadline. Eviction fences the generation — survivors' next
   barrier fails, they re-join, and the next generation forms.
 
-Every membership transition is appended to ``membership_events.jsonl``
-under the run directory — the audit log the CI chaos job uploads.
+Every membership *decision* is made by the pure transition-rule table
+in :mod:`repro.cluster.rules` — the same table the protocol model
+checker (:mod:`repro.analysis.protocol`) exhaustively explores. This
+class owns only what the rules cannot: threads, sockets, the wall
+clock, and the ``membership_events.jsonl`` audit log the CI chaos job
+uploads. Each event is persisted as one ``write`` of a full line plus
+a flush, so a supervisor crash can never interleave torn event lines.
 
 Thread model: one listener accept loop, one handler thread per
 connection, one monitor thread. A single condition guards all mutable
@@ -34,15 +39,9 @@ import threading
 import time
 from multiprocessing.connection import Listener
 
+from repro.cluster import rules as membership_rules
 from repro.cluster.protocol import (
-    EVENT_COMPLETE,
-    EVENT_EVICTED,
-    EVENT_FENCED,
-    EVENT_GENERATION,
-    EVENT_JOIN,
     EVENT_REPORT,
-    EVENT_RETIRED,
-    EVENT_SUSPECT,
     EVENTS_FILENAME,
     OP_BARRIER,
     OP_DONE,
@@ -55,70 +54,34 @@ from repro.cluster.protocol import (
     OP_STATS,
     ClusterConfig,
 )
+from repro.cluster.rules import MembershipState
 
 _CLOSE = object()
-
-
-class _Member:
-    """One worker's standing in the current generation."""
-
-    __slots__ = (
-        "worker", "slot", "incarnation", "rank",
-        "last_beat", "missed", "suspect", "step", "done",
-    )
-
-    def __init__(self, worker: str, slot: int, incarnation: int, rank: int,
-                 now: float):
-        self.worker = worker
-        self.slot = slot
-        self.incarnation = incarnation
-        self.rank = rank
-        self.last_beat = now
-        self.missed = 0
-        self.suspect = False
-        self.step = 0
-        self.done = False
-
-
-class _Barrier:
-    """One named barrier's arrivals within a generation."""
-
-    __slots__ = ("arrived", "released", "rejoin")
-
-    def __init__(self):
-        self.arrived: set[str] = set()
-        self.released = False
-        #: Decided once, when the last member arrives, so every member
-        #: gets the same answer: should the group checkpoint and re-form
-        #: to admit pending joiners?
-        self.rejoin = False
 
 
 class Coordinator:
     """Generation-numbered membership service for trainer workers."""
 
-    def __init__(self, config: ClusterConfig, workdir: str, clock=None):
+    def __init__(self, config: ClusterConfig, workdir: str, clock=None,
+                 rules: dict | None = None):
         self.config = config
         self.workdir = workdir
         self.clock = clock if clock is not None else time.monotonic
+        #: The shared transition table (injectable for protocol tests).
+        self.rules = dict(membership_rules.RULES) if rules is None else rules
         os.makedirs(workdir, exist_ok=True)
         self.events_path = os.path.join(workdir, EVENTS_FILENAME)
 
         self._cond = threading.Condition()
         # All state below is guarded by _cond.
-        self._generation = 0
-        self._fenced = False
-        self._fence_reason: str | None = None
-        self._members: dict[str, _Member] = {}
-        self._pending: dict[str, dict] = {}
-        self._last_join: float | None = None
-        self._barriers: dict[str, _Barrier] = {}
-        self._evictions = 0
-        self._complete = False
+        self._state = MembershipState()
         self._closing = False
         self._reports: dict[str, dict] = {}
         self._events: list[dict] = []
         self._listener: Listener | None = None
+        # Line-buffered append handle held for the coordinator's
+        # lifetime: one write of a complete line + flush per event.
+        self._events_file = open(self.events_path, "a", encoding="utf-8")
 
     # ------------------------------------------------------------------
     # Serving
@@ -150,6 +113,11 @@ class Coordinator:
             except OSError:
                 pass
             monitor.join(timeout=2.0)
+            with self._cond:
+                try:
+                    self._events_file.close()
+                except OSError:
+                    pass
 
     def _serve_connection(self, conn) -> None:
         try:
@@ -206,39 +174,42 @@ class Coordinator:
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     # ------------------------------------------------------------------
-    # Ops
+    # Ops — thin adapters: take the lock, apply a rule, log its events.
     # ------------------------------------------------------------------
     def _op_join(self, worker: str, message: dict) -> dict:
         with self._cond:
-            if self._closing or self._complete:
-                return {"ok": False, "closing": True, "complete": self._complete}
-            self._pending[worker] = {
-                "slot": int(message.get("slot", 0)),
-                "incarnation": int(message.get("incarnation", 0)),
-            }
-            self._last_join = self.clock()
-            self._log(EVENT_JOIN, worker=worker, **self._pending[worker])
-            self._cond.notify_all()
+            if self._closing or self._state.complete:
+                return {"ok": False, "closing": True,
+                        "complete": self._state.complete}
+            self._apply(self.rules["join"](
+                self._state, worker,
+                int(message.get("slot", 0)),
+                int(message.get("incarnation", 0)),
+                self.clock(),
+            ))
 
             def admitted():
-                member = self._members.get(worker)
+                state = self._state
                 return (
-                    self._closing or self._complete
-                    or (member is not None and worker not in self._pending)
+                    self._closing or state.complete
+                    or (worker in state.members
+                        and worker not in state.pending)
                 )
 
             if not self._cond.wait_for(admitted, timeout=self.config.run_timeout):
-                self._pending.pop(worker, None)
+                self._state.pending.pop(worker, None)
                 return {"ok": False, "error": "rendezvous timed out"}
-            if self._closing or self._complete:
-                return {"ok": False, "closing": True, "complete": self._complete}
-            member = self._members[worker]
+            state = self._state
+            if self._closing or state.complete:
+                return {"ok": False, "closing": True,
+                        "complete": state.complete}
+            member = state.members[worker]
             return {
                 "ok": True,
-                "generation": self._generation,
+                "generation": state.generation,
                 "rank": member.rank,
-                "world": len(self._members),
-                "members": {w: m.rank for w, m in self._members.items()},
+                "world": len(state.members),
+                "members": {w: m.rank for w, m in state.members.items()},
                 "num_data_shards": self.config.num_data_shards,
             }
 
@@ -246,47 +217,50 @@ class Coordinator:
         name = str(message.get("name"))
         generation = int(message.get("generation", -1))
         with self._cond:
-            if generation != self._generation or worker not in self._members:
+            status, events = self.rules["barrier_arrive"](
+                self._state, worker, name, generation
+            )
+            self._apply(events)
+            if status == "stale":
                 return self._fenced_reply("stale generation")
-            if self._fenced:
-                return self._fenced_reply(self._fence_reason)
-            barrier = self._barriers.setdefault(name, _Barrier())
-            barrier.arrived.add(worker)
-            if barrier.arrived >= set(self._members):
-                barrier.released = True
-                # One decision for the whole group, made at release time.
-                barrier.rejoin = bool(self._pending)
+            if status == "fenced":
+                return self._fenced_reply(self._state.fence_reason)
+            if status == "released":
                 self._cond.notify_all()
             else:
                 self._cond.wait_for(
-                    lambda: barrier.released or self._fenced or self._closing
-                    or generation != self._generation,
+                    lambda: self.rules["barrier_status"](
+                        self._state, name, generation
+                    )[0] != "wait" or self._closing,
                     timeout=self.config.run_timeout,
                 )
             # A barrier that released before the fence stays good: every
             # member already published its data for this collective.
-            if barrier.released:
-                return {"ok": True, "rejoin": barrier.rejoin}
-            return self._fenced_reply(self._fence_reason or "barrier timed out")
+            status, rejoin = self.rules["barrier_status"](
+                self._state, name, generation
+            )
+            if status == "released":
+                return {"ok": True, "rejoin": rejoin}
+            return self._fenced_reply(
+                self._state.fence_reason or "barrier timed out"
+            )
 
     def _op_heartbeat(self, worker: str, message: dict) -> dict:
         generation = int(message.get("generation", -1))
         with self._cond:
-            member = self._members.get(worker)
-            if member is None or generation != self._generation:
-                return {"ok": True, "member": False, "fenced": True}
-            member.last_beat = self.clock()
-            member.missed = 0
-            member.suspect = False
-            member.step = int(message.get("step", member.step))
-            return {"ok": True, "member": True, "fenced": self._fenced}
+            standing = self.rules["heartbeat"](
+                self._state, worker, generation, self.clock(),
+                step=message.get("step"),
+            )
+            return {"ok": True, **standing}
 
     def _op_retire(self, worker: str, message: dict) -> dict:
         generation = int(message.get("generation", -1))
         with self._cond:
-            if generation == self._generation and not self._fenced:
-                self._fence(f"rescale requested by {worker}")
-            self._log(EVENT_RETIRED, worker=worker)
+            self._apply(self.rules["retire"](
+                self._state, worker, generation, self.clock()
+            ))
+            self._cond.notify_all()
             return {"ok": True}
 
     def _op_report(self, worker: str, message: dict) -> dict:
@@ -297,25 +271,18 @@ class Coordinator:
 
     def _op_done(self, worker: str) -> dict:
         with self._cond:
-            member = self._members.get(worker)
-            if member is not None:
-                member.done = True
-            if (
-                not self._fenced
-                and self._members
-                and all(m.done for m in self._members.values())
-                and not self._complete
-            ):
-                self._complete = True
-                self._log(EVENT_COMPLETE, world=len(self._members))
+            complete, events = self.rules["done"](self._state, worker)
+            self._apply(events)
+            if events:
                 self._cond.notify_all()
-            return {"ok": True, "complete": self._complete}
+            return {"ok": True, "complete": complete}
 
     def _op_stats(self) -> dict:
         with self._cond:
             now = self.clock()
+            state = self._state
             members = {}
-            for worker, member in self._members.items():
+            for worker, member in state.members.items():
                 age = max(0.0, now - member.last_beat)
                 members[worker] = {
                     "rank": member.rank,
@@ -329,13 +296,13 @@ class Coordinator:
                 }
             return {
                 "ok": True,
-                "generation": self._generation,
-                "world": len(self._members),
-                "fenced": self._fenced,
-                "evictions": self._evictions,
-                "complete": self._complete,
+                "generation": state.generation,
+                "world": len(state.members),
+                "fenced": state.fenced,
+                "evictions": state.evictions,
+                "complete": state.complete,
                 "members": members,
-                "pending": sorted(self._pending),
+                "pending": sorted(state.pending),
                 "reports": dict(self._reports),
             }
 
@@ -353,14 +320,15 @@ class Coordinator:
     def _on_disconnect(self, worker: str) -> None:
         """Control EOF: a SIGKILLed worker is evicted without a deadline."""
         with self._cond:
-            self._pending.pop(worker, None)
-            member = self._members.get(worker)
-            if (
-                member is None or member.done
-                or self._complete or self._closing or self._fenced
-            ):
+            if self._closing:
+                self._state.pending.pop(worker, None)
                 return
-            self._evict(worker, "control connection lost")
+            events = self.rules["disconnect"](
+                self._state, worker, self.clock()
+            )
+            self._apply(events)
+            if events:
+                self._cond.notify_all()
 
     # ------------------------------------------------------------------
     # Monitor thread: formation + heartbeat deadlines
@@ -382,103 +350,50 @@ class Coordinator:
         an RLock) so every write is lock-mediated in its own right.
         """
         with self._cond:
-            if self._complete or not self._pending:
-                return
-            if self._generation > 0 and not self._fenced:
-                return  # an unfenced generation is running; joiners wait
-            quorum = len(self._pending) >= self.config.world_size
-            grace_over = (
-                self._last_join is not None
-                and now - self._last_join >= self.config.rendezvous_grace
-                and len(self._pending) >= self.config.min_world
-            )
-            if not (quorum or grace_over):
-                return
-            self._generation += 1
-            self._fenced = False
-            self._fence_reason = None
-            self._barriers = {}
-            self._members = {}
-            ordered = sorted(
-                self._pending.items(), key=lambda item: item[1]["slot"]
-            )
-            for rank, (worker, info) in enumerate(ordered):
-                self._members[worker] = _Member(
-                    worker, info["slot"], info["incarnation"], rank, now
-                )
-            self._pending = {}
-            self._log(
-                EVENT_GENERATION,
-                world=len(self._members),
-                members={w: m.rank for w, m in self._members.items()},
-            )
-            self._cond.notify_all()
+            if self.rules["formation_due"](self._state, now, self.config):
+                self._apply(self.rules["form"](self._state, now))
+                self._cond.notify_all()
 
     def _check_liveness(self, now: float) -> None:
         """Advance the missed counters and the suspect/evict ladder."""
         with self._cond:
-            if self._generation == 0:
-                return
-            interval = self.config.heartbeat_interval
-            for worker in list(self._members):
-                member = self._members[worker]
-                if member.done:
-                    continue
-                age = max(0.0, now - member.last_beat)
-                member.missed = int(age / interval)
-                if self._fenced or self._complete:
-                    continue  # fenced generations are already torn down
-                if age >= self.config.suspect_after and not member.suspect:
-                    member.suspect = True
-                    self._log(EVENT_SUSPECT, worker=worker, age=round(age, 4))
-                if age >= self.config.evict_after:
-                    self._evict(worker, f"heartbeat silent for {age:.3f}s")
-
-    def _evict(self, worker: str, reason: str) -> None:
-        """Remove a dead worker and fence its generation."""
-        with self._cond:
-            member = self._members.pop(worker, None)
-            if member is None:
-                return
-            self._evictions += 1
-            self._log(EVENT_EVICTED, worker=worker, reason=reason)
-            if not self._fenced:
-                self._fence(f"{worker} evicted ({reason})")
-            self._cond.notify_all()
-
-    def _fence(self, reason: str) -> None:
-        """No collective of this generation may complete from here on."""
-        with self._cond:
-            self._fenced = True
-            self._fence_reason = reason
-            # Restart the rendezvous grace clock: survivors deserve the
-            # full window to re-join before a smaller generation forms
-            # around whoever was already pending.
-            self._last_join = self.clock()
-            self._log(EVENT_FENCED, reason=reason)
-            self._cond.notify_all()
+            events = self.rules["liveness"](self._state, now, self.config)
+            self._apply(events)
+            if events:
+                self._cond.notify_all()
 
     def _fenced_reply(self, reason: str | None) -> dict:
         return {
             "ok": False,
             "fenced": True,
-            "generation": self._generation,
+            "generation": self._state.generation,
             "reason": reason,
         }
 
     # ------------------------------------------------------------------
     # Event log (called under _cond)
     # ------------------------------------------------------------------
+    def _apply(self, events: list) -> None:
+        """Persist the events a rule returned."""
+        for event_type, fields in events:
+            self._log(event_type, **fields)
+
     def _log(self, event_type: str, **fields) -> None:
         event = {
             "type": event_type,
             "time": time.time(),
-            "generation": self._generation,
+            "generation": self._state.generation,
             **fields,
         }
         self._events.append(event)
-        with open(self.events_path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(event) + "\n")
+        # Atomic at the line level: a single write of one full line,
+        # flushed immediately, so torn lines cannot appear in the log
+        # even if the coordinator process dies mid-run.
+        try:
+            self._events_file.write(json.dumps(event) + "\n")
+            self._events_file.flush()
+        except (OSError, ValueError):
+            pass  # the log is an audit trail, never worth crashing for
 
 
 def coordinator_main(config: ClusterConfig, address, authkey: bytes,

@@ -109,14 +109,26 @@ OP_LEAVE = "leave"          # close the control session
 OP_STATS = "stats"          # supervisor: observability snapshot
 OP_SHUTDOWN = "shutdown"    # supervisor: stop serving
 
-# Membership event types (the JSONL audit log / CI artifact).
-EVENT_JOIN = "join"
-EVENT_GENERATION = "generation_formed"
-EVENT_SUSPECT = "suspect"
-EVENT_EVICTED = "evicted"
-EVENT_FENCED = "fenced"
-EVENT_RETIRED = "retired"
-EVENT_REPORT = "report"
-EVENT_COMPLETE = "complete"
+# Membership event types (the JSONL audit log / CI artifact). Defined
+# in the transition-rule table so the coordinator and the protocol
+# model checker literally share them; re-exported here for the wire.
+from repro.cluster.rules import (  # noqa: E402
+    EVENT_COMPLETE,
+    EVENT_EVICTED,
+    EVENT_FENCED,
+    EVENT_GENERATION,
+    EVENT_JOIN,
+    EVENT_REPORT,
+    EVENT_RETIRED,
+    EVENT_SUSPECT,
+)
+
+__all__ = [
+    "ClusterConfig", "worker_id", "EVENTS_FILENAME",
+    "OP_HELLO", "OP_JOIN", "OP_BARRIER", "OP_HEARTBEAT", "OP_RETIRE",
+    "OP_REPORT", "OP_DONE", "OP_LEAVE", "OP_STATS", "OP_SHUTDOWN",
+    "EVENT_JOIN", "EVENT_GENERATION", "EVENT_SUSPECT", "EVENT_EVICTED",
+    "EVENT_FENCED", "EVENT_RETIRED", "EVENT_REPORT", "EVENT_COMPLETE",
+]
 
 EVENTS_FILENAME = "membership_events.jsonl"

@@ -91,6 +91,16 @@ class ClusterReport:
         }
 
 
+def _bounded_recv(conn, timeout: float):
+    """``recv()`` with a ``poll`` guard so a dead coordinator cannot
+    hang the supervisor (SA005 discipline)."""
+    if not conn.poll(timeout):
+        raise ClusterError(
+            f"coordinator did not answer within {timeout:.1f}s"
+        )
+    return conn.recv()
+
+
 def _connect(address, authkey: bytes, deadline: float):
     """Dial the coordinator until it answers or the deadline passes."""
     last_error = None
@@ -99,6 +109,10 @@ def _connect(address, authkey: bytes, deadline: float):
             conn = Client(address, authkey=authkey)
             conn.send({"op": OP_HELLO, "worker": "supervisor",
                        "kind": "supervisor"})
+            remaining = max(0.05, min(1.0, deadline - time.monotonic()))
+            if not conn.poll(remaining):
+                conn.close()
+                raise ConnectionError("no hello ack before deadline")
             conn.recv()
             return conn
         except (ConnectionError, FileNotFoundError, OSError) as exc:
@@ -201,7 +215,9 @@ def run_cluster(config: ClusterConfig, workdir: str | None = None,
 
         while time.monotonic() < deadline:
             supervisor_conn.send({"op": OP_STATS, "worker": "supervisor"})
-            stats = supervisor_conn.recv()
+            stats = _bounded_recv(
+                supervisor_conn, max(1.0, config.run_timeout / 4)
+            )
             _mirror(stats, telemetry)
             steps = [m["step"] for m in stats.get("members", {}).values()]
             if watchdog is not None:
@@ -222,8 +238,8 @@ def run_cluster(config: ClusterConfig, workdir: str | None = None,
     finally:
         try:
             supervisor_conn.send({"op": OP_SHUTDOWN, "worker": "supervisor"})
-            supervisor_conn.recv()
-        except (EOFError, OSError):
+            _bounded_recv(supervisor_conn, 5.0)
+        except (EOFError, OSError, ClusterError):
             pass
         try:
             supervisor_conn.close()

@@ -352,7 +352,8 @@ def _run_generation(config: ClusterConfig, workdir: str,
                     model, params, batches[step], config, rank, world
                 )
             _maybe_kill(config, slot, incarnation, step, sink)
-            with telemetry.span("reduce_scatter", track="train"):
+            with telemetry.span("reduce_scatter", track="train",
+                                nbytes=grad.nbytes):
                 grad_shard = transport.reduce_scatter(grad)
             telemetry.record_collective("reduce_scatter", grad.nbytes)
             grad_shard /= config.num_data_shards
@@ -361,7 +362,8 @@ def _run_generation(config: ClusterConfig, workdir: str,
             with telemetry.span("adam", track="train"):
                 adam._apply(master_shard, grad_shard, m_shard, v_shard)
             param_shard = master_shard.astype(np.float16).astype(np.float32)
-            with telemetry.span("all_gather", track="train"):
+            with telemetry.span("all_gather", track="train",
+                                nbytes=param_shard.nbytes):
                 flat = np.concatenate(
                     transport.all_gather(param_shard)
                 )[:true_size]

@@ -191,6 +191,41 @@ def _verification_section(bench: dict) -> list[str]:
             f"Replayed peak live bytes: {_fmt_bytes(peak)}{headroom}."
         )
         lines.append("")
+    lines += _protocol_subsection(bench)
+    return lines
+
+
+def _protocol_subsection(bench: dict) -> list[str]:
+    """Coordinator-protocol model-checking verdict, if the payload has one."""
+    protocol = bench.get("protocol_verification")
+    if not protocol:
+        return []
+    invariants = protocol.get("invariants", [])
+    violations = protocol.get("violations", [])
+    stats = protocol.get("stats") or {}
+    lines: list[str] = []
+    if protocol.get("ok"):
+        lines.append(
+            f"protocol verified: {len(invariants)} membership invariants, "
+            f"0 violations over {stats.get('states', '?')} states / "
+            f"{stats.get('transitions', '?')} transitions "
+            f"(model `{protocol.get('model', '?')}`)"
+        )
+        lines.append("")
+    else:
+        lines.append(
+            f"**protocol INVALID**: {len(violations)} violation(s) on "
+            f"model `{protocol.get('model', '?')}`"
+        )
+        lines.append("")
+        for v in violations:
+            lines.append(
+                f"- `{v.get('invariant')}`: {v.get('message', '')}"
+            )
+            trace = [event for _t, event in v.get("provenance", [])]
+            if trace:
+                lines.append(f"  counterexample: `{' -> '.join(trace)}`")
+        lines.append("")
     return lines
 
 

@@ -233,6 +233,13 @@ def run_profile(
     )
     simulated, verification = _simulate_once(config, telemetry)
 
+    # The coordinator protocol is verified alongside the schedule: both
+    # are static proofs the bench carries with its numbers (milliseconds
+    # at the default 2-worker/depth-6 bound).
+    from repro.analysis.protocol import explore_protocol
+
+    protocol_verification = explore_protocol(depth=6).to_dict()
+
     pipeline_compare = None
     if config.compare_pipeline:
         pipeline_compare = _compare_pipeline(config)
@@ -268,6 +275,7 @@ def run_profile(
         },
         "simulated": simulated,
         "verification": verification,
+        "protocol_verification": protocol_verification,
         "per_tier_edge_bytes": page_edges,
         "pipeline": pipeline_report,
         "pipeline_compare": pipeline_compare,

@@ -8,7 +8,13 @@ import pytest
 
 import repro
 from repro.analysis.baseline import compare, load_baseline, save_baseline
-from repro.analysis.invariants import LOCK_ORDER_CYCLE, SHARED_STATE_RACE
+from repro.analysis.invariants import (
+    LOCK_ORDER_CYCLE,
+    SHARED_STATE_RACE,
+    SHM_LIFECYCLE,
+    SPAWN_PICKLE,
+    UNBOUNDED_RECV,
+)
 from repro.analysis.lint import lint_tree
 from repro.errors import ConfigurationError
 
@@ -87,7 +93,7 @@ class TestSharedStateRace:
 
                 def _loop(self):
                     while not self.done.is_set():
-                        self.jobs.get()
+                        self.jobs.get(True, 0.1)
 
                 def stop(self):
                     self.done.set()
@@ -196,6 +202,180 @@ class TestLockOrderCycle:
         assert [f for f in findings if f.rule == LOCK_ORDER_CYCLE] == []
 
 
+UNPICKLABLE_SPAWN = """
+    import threading
+    from dataclasses import dataclass
+    from multiprocessing import get_context
+
+    @dataclass
+    class JobConfig:
+        steps: int
+        lock: threading.Lock
+        done: threading.Event
+
+    def launch(config: JobConfig):
+        ctx = get_context("spawn")
+        proc = ctx.Process(target=work, args=(config, 0))
+        proc.start()
+        return proc
+
+    def work(config, slot):
+        pass
+"""
+
+
+class TestSpawnPickle:
+    def test_unpicklable_config_crossing_spawn_flagged(self, tmp_path):
+        findings = _lint_source(tmp_path, UNPICKLABLE_SPAWN)
+        rules = sorted({f.rule for f in findings})
+        assert rules == [SPAWN_PICKLE]
+        subjects = sorted(f.subject for f in findings)
+        assert subjects == ["JobConfig.done", "JobConfig.lock"]
+        assert all("spawn" in f.message for f in findings)
+
+    def test_replace_strip_is_clean(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            import threading
+            from dataclasses import dataclass, replace
+            from multiprocessing import get_context
+
+            @dataclass
+            class JobConfig:
+                steps: int
+                lock: threading.Lock | None
+
+            def launch(config: JobConfig):
+                ctx = get_context("spawn")
+                spawn_config = replace(config, lock=None)
+                proc = ctx.Process(target=work, args=(spawn_config,))
+                proc.start()
+                return proc
+
+            def work(config):
+                pass
+        """)
+        assert findings == []
+
+    def test_constructed_config_tracked(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            import threading
+            from dataclasses import dataclass
+            from multiprocessing import get_context
+
+            @dataclass
+            class JobConfig:
+                bus: threading.Condition
+
+            def launch():
+                config = JobConfig(bus=threading.Condition())
+                get_context("spawn").Process(
+                    target=work, args=(config,)
+                ).start()
+
+            def work(config):
+                pass
+        """)
+        assert [f.subject for f in findings] == ["JobConfig.bus"]
+
+
+class TestShmLifecycle:
+    def test_missing_cleanup_flagged(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            from multiprocessing import shared_memory
+
+            def make_region(nbytes):
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                return shm.name
+        """)
+        assert [f.rule for f in findings] == [SHM_LIFECYCLE]
+        assert findings[0].subject == "make_region"
+
+    def test_close_and_unlink_accepted(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            from multiprocessing import shared_memory
+
+            def roundtrip(nbytes):
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                try:
+                    return bytes(shm.buf[:4])
+                finally:
+                    shm.close()
+                    shm.unlink()
+        """)
+        assert findings == []
+
+    def test_class_owning_lifecycle_accepted(self, tmp_path):
+        # Lifecycle split across methods of one class is fine: the class
+        # is the ownership scope.
+        findings = _lint_source(tmp_path, """
+            from multiprocessing import shared_memory
+
+            class Region:
+                def __init__(self, nbytes):
+                    self.shm = shared_memory.SharedMemory(
+                        create=True, size=nbytes
+                    )
+
+                def close(self):
+                    self.shm.close()
+                    self.shm.unlink()
+        """)
+        assert findings == []
+
+
+class TestUnboundedRecv:
+    def test_bare_recv_flagged(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            class Client:
+                def __init__(self, conn):
+                    self.conn = conn
+
+                def call(self, message):
+                    self.conn.send(message)
+                    return self.conn.recv()
+        """)
+        assert [f.rule for f in findings] == [UNBOUNDED_RECV]
+        assert findings[0].subject == "Client.call.recv"
+
+    def test_poll_guard_accepted(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            class Client:
+                def __init__(self, conn):
+                    self.conn = conn
+
+                def call(self, message, timeout):
+                    self.conn.send(message)
+                    if not self.conn.poll(timeout):
+                        raise TimeoutError("no reply")
+                    return self.conn.recv()
+        """)
+        assert findings == []
+
+    def test_bare_wait_join_get_flagged(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            class Pool:
+                def drain(self, event, thread, jobs):
+                    event.wait()
+                    thread.join()
+                    return jobs.get()
+        """)
+        assert sorted(f.subject for f in findings) == [
+            "Pool.drain.get", "Pool.drain.join", "Pool.drain.wait",
+        ]
+
+    def test_timeouts_accepted(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            class Pool:
+                def drain(self, event, thread, jobs, cond):
+                    event.wait(5.0)
+                    thread.join(timeout=1.0)
+                    with cond:
+                        cond.wait_for(lambda: True, timeout=2.0)
+                    return jobs.get(True, 0.5)
+        """)
+        assert findings == []
+
+
 class TestBaseline:
     def test_round_trip_and_compare(self, tmp_path):
         findings = _lint_source(tmp_path, RACY)
@@ -241,9 +421,30 @@ class TestRealTree:
 
     def test_trainer_race_fix_is_recognized(self):
         # The satellite fix: sweep-progress counters are lock-mediated,
-        # so only the accepted update_error publish remains.
+        # so only the accepted update_error publish remains under SA001.
         root = Path(repro.__file__).parent
-        fingerprints = {f.fingerprint for f in lint_tree(root)}
-        assert fingerprints == {
+        sa001 = {
+            f.fingerprint for f in lint_tree(root) if f.rule == SHARED_STATE_RACE
+        }
+        assert sa001 == {
             "SA001:lockfree/threaded.py:LockFreeTrainer.update_error"
         }
+
+    def test_supervisor_recv_paths_are_bounded(self):
+        # The PR-9 satellite fix: every supervisor-side recv polls with a
+        # timeout first, so a dead coordinator cannot hang the launcher.
+        # Only the documented worker/coordinator exceptions remain.
+        root = Path(repro.__file__).parent
+        sa005 = sorted(
+            f.fingerprint for f in lint_tree(root) if f.rule == UNBOUNDED_RECV
+        )
+        assert not any(":cluster/supervisor.py:" in fp for fp in sa005)
+        assert "SA005:cluster/worker.py:CoordinatorClient.call.recv" in sa005
+
+    def test_spawn_config_strip_is_the_only_sa003(self):
+        # run_cluster strips telemetry via replace() before spawning; the
+        # linter's single-file view cannot see the interprocedural strip,
+        # so exactly this one accepted finding remains.
+        root = Path(repro.__file__).parent
+        sa003 = [f.fingerprint for f in lint_tree(root) if f.rule == SPAWN_PICKLE]
+        assert sa003 == ["SA003:cluster/supervisor.py:ClusterConfig.telemetry"]

@@ -231,3 +231,58 @@ class TestCheckCli:
         assert payload["schedule"]["ok"] is True
         names = [i["name"] for i in payload["schedule"]["invariants"]]
         assert "use-before-fetch" in names and "oom-at-trigger" in names
+        # The default run also model-checks the coordinator protocol.
+        assert payload["protocol"]["ok"] is True
+        assert payload["protocol"]["kind"] == "protocol"
+
+    def test_check_protocol_explores_clean_model(self, capsys):
+        assert main(["check", "--protocol", "--depth", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol verified: 8 invariants, 0 violations" in out
+        assert "states" in out
+
+    def test_check_protocol_json_carries_stats(self, capsys):
+        import json
+
+        assert main([
+            "check", "--protocol", "--json", "--depth", "4", "--workers", "2",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        protocol = payload["protocol"]
+        assert protocol["ok"] is True
+        assert protocol["stats"]["states"] > 0
+        assert protocol["stats"]["depth"] == 4
+        assert "schedule" not in payload  # explicit prong selection
+
+    def test_check_cluster_verifies_workdir(self, capsys, tmp_path):
+        import json
+
+        events = [
+            {"type": "generation_formed", "time": 0.0, "generation": 1,
+             "world": 1, "members": {"w0i0": 0}},
+            {"type": "complete", "time": 1.0, "generation": 1, "world": 1},
+        ]
+        (tmp_path / "membership_events.jsonl").write_text(
+            "\n".join(json.dumps(e) for e in events) + "\n"
+        )
+        assert main(["check", "--cluster", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cluster verified" in out
+
+    def test_check_cluster_reports_counterexample(self, capsys, tmp_path):
+        import json
+
+        events = [
+            {"type": "generation_formed", "time": 0.0, "generation": 1,
+             "world": 2, "members": {"w0i0": 0, "w1i0": 1}},
+            # Reformed without fencing generation 1 first.
+            {"type": "generation_formed", "time": 1.0, "generation": 2,
+             "world": 1, "members": {"w0i0": 0}},
+        ]
+        (tmp_path / "membership_events.jsonl").write_text(
+            "\n".join(json.dumps(e) for e in events) + "\n"
+        )
+        assert main(["check", "--cluster", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "fence-discipline" in captured.out
+        assert "FAILED" in captured.err

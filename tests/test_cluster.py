@@ -354,6 +354,19 @@ class TestClusterIntegration:
         assert report.rollup["counters"]["worker.steps"] > 0
         assert set(report.rank_lanes) == set(collected.rank_lanes)
 
+        # Post-hoc protocol replay: the persisted membership log and the
+        # per-rank telemetry streams from a real SIGKILL run satisfy the
+        # fencing discipline and collective-agreement invariants.
+        from repro.analysis.protocol import verify_cluster_workdir
+
+        verification = verify_cluster_workdir(str(tmp_path))
+        assert verification.ok, [
+            (v.invariant, v.message) for v in verification.violations
+        ]
+        assert verification.stats["membership_events"] == len(persisted)
+        assert verification.stats["rank_streams"] >= 4
+        assert verification.stats["collectives_observed"] > 0
+
 
 class TestClusterCli:
     def test_cluster_command_writes_report(self, tmp_path, capsys):

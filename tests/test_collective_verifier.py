@@ -1,0 +1,312 @@
+"""Multi-rank collective agreement + post-hoc cluster-workdir replay."""
+
+import json
+from pathlib import Path
+from types import SimpleNamespace
+
+from repro.analysis.invariants import (
+    COLLECTIVE_AGREEMENT,
+    COLLECTIVE_ORDER,
+    COLLECTIVE_SHAPE,
+    COLLECTIVE_WORLD,
+    FENCE_DISCIPLINE,
+    GENERATION_MONOTONIC,
+    INCARNATION_BUMP,
+)
+from repro.analysis.protocol import (
+    CollectiveOp,
+    collective_program_from_plan,
+    verify_cluster_workdir,
+    verify_collective_programs,
+    worker_collective_program,
+)
+
+CONFIG = SimpleNamespace(steps=3, checkpoint_every=2)
+
+
+def _program(world=2, rank=0):
+    return worker_collective_program(
+        CONFIG, world, rank, total_elements=1000
+    )
+
+
+# ----------------------------------------------------------------------
+# Planned agreement
+# ----------------------------------------------------------------------
+class TestWorkerPrograms:
+    def test_identical_across_ranks(self):
+        programs = {rank: _program(rank=rank) for rank in range(2)}
+        result = verify_collective_programs(programs)
+        assert result.ok
+        assert result.kind == "collective"
+        assert result.stats["world"] == 2
+        assert result.stats["ops_per_rank"] == len(programs[0])
+
+    def test_checkpoint_steps_add_state_gathers(self):
+        program = _program()
+        # steps 0..2, checkpoint after step 2 (completed == 2): per step
+        # grad reduce_scatter + param all_gather + loss all_gather, plus
+        # 3 shard gathers for master/m/v at the checkpoint.
+        per_step = 3 * CONFIG.steps
+        assert len(program) == per_step + 3
+        assert [op.kind for op in program[:3]] == [
+            "reduce_scatter", "all_gather", "all_gather",
+        ]
+        ckpt = [op for op in program if op.label.startswith("ckpt")]
+        assert [op.label for op in ckpt] == [
+            "ckpt2/master", "ckpt2/m", "ckpt2/v",
+        ]
+
+    def test_shard_lengths_are_padded_equal(self):
+        # 1000 elements over 3 ranks pads to ceil shards: every rank
+        # contributes the same nbytes, which is what makes the programs
+        # rank-invariant.
+        programs = {rank: worker_collective_program(
+            CONFIG, 3, rank, total_elements=1000
+        ) for rank in range(3)}
+        assert verify_collective_programs(programs).ok
+
+
+class TestDisagreements:
+    def test_sparse_rank_set(self):
+        result = verify_collective_programs({0: _program(), 2: _program()})
+        assert not result.ok
+        assert result.violations[0].invariant == COLLECTIVE_WORLD
+
+    def test_length_mismatch_names_the_deadlocking_rank(self):
+        programs = {0: _program(), 1: _program()[:-1]}
+        result = verify_collective_programs(programs)
+        assert not result.ok
+        assert len(result.violations) == 1
+        violation = result.violations[0]
+        assert violation.invariant == COLLECTIVE_ORDER
+        assert "rank 1" in violation.message
+
+    def test_reordered_collectives(self):
+        swapped = list(_program())
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        result = verify_collective_programs({0: _program(), 1: swapped})
+        assert not result.ok
+        assert len(result.violations) == 1
+        violation = result.violations[0]
+        assert violation.invariant == COLLECTIVE_ORDER
+        assert violation.trigger_id == 0
+
+    def test_disagreeing_shard_length(self):
+        # Rank 1 computes its shard over a different world size: same
+        # op order, different payload bytes.
+        programs = {
+            0: _program(world=2),
+            1: worker_collective_program(
+                CONFIG, 3, 1, total_elements=1000
+            ),
+        }
+        result = verify_collective_programs(programs)
+        assert not result.ok
+        assert len(result.violations) == 1
+        assert result.violations[0].invariant == COLLECTIVE_SHAPE
+
+
+class TestPlanExtraction:
+    def test_from_fake_plan(self):
+        from repro.scheduler.tasks import Operation
+
+        tasks = [
+            SimpleNamespace(operation=Operation.MOVE_TO_GPU, trigger_id=0,
+                            layer_index=0, nbytes=64),
+            SimpleNamespace(operation=Operation.ALL_GATHER, trigger_id=0,
+                            layer_index=0, nbytes=4096),
+            SimpleNamespace(operation=Operation.COMPUTE, trigger_id=0,
+                            layer_index=0, nbytes=0),
+            SimpleNamespace(operation=Operation.REDUCE_SCATTER,
+                            trigger_id=9, layer_index=0, nbytes=4096),
+        ]
+        program = collective_program_from_plan(
+            SimpleNamespace(schedule=tasks)
+        )
+        assert program == [
+            CollectiveOp("all_gather", 4096, "t0/L0"),
+            CollectiveOp("reduce_scatter", 4096, "t9/L0"),
+        ]
+
+    def test_real_plans_agree_across_identical_ranks(self):
+        from repro.hardware.cluster import a100_cluster
+        from repro.models import get_model
+        from repro.scheduler.unified import UnifiedScheduler
+
+        scheduler = UnifiedScheduler(a100_cluster(1))
+        plan = scheduler.plan(get_model("gpt3-13b"), 4, seq_len=2048)
+        program = collective_program_from_plan(plan)
+        assert program, "the bench plan must issue collectives"
+        assert verify_collective_programs({0: program, 1: program}).ok
+
+
+# ----------------------------------------------------------------------
+# Post-hoc workdir replay
+# ----------------------------------------------------------------------
+def _write_membership(workdir, events, torn_tail=False):
+    lines = [json.dumps(event) for event in events]
+    text = "\n".join(lines) + "\n"
+    if torn_tail:
+        text += '{"type": "generation_for'  # SIGKILL mid-write
+    (Path(workdir) / "membership_events.jsonl").write_text(text)
+
+
+def _write_stream(workdir, source, spans, role="rank"):
+    directory = Path(workdir) / "telemetry"
+    directory.mkdir(parents=True, exist_ok=True)
+    events = [{"kind": "meta", "version": 1, "source": source, "role": role}]
+    events += spans
+    (directory / f"{source}.jsonl").write_text(
+        "\n".join(json.dumps(event) for event in events) + "\n"
+    )
+
+
+def _step_spans(generation, step, ops, base=0.0, rank=0):
+    """One step span plus its contained collective spans."""
+    spans = [{
+        "kind": "span", "name": f"step{step}", "track": "train",
+        "start": base, "end": base + 1.0, "depth": 0,
+        "args": {"step": step, "generation": generation, "rank": rank},
+    }]
+    for index, (name, nbytes) in enumerate(ops):
+        start = base + 0.1 * (index + 1)
+        spans.append({
+            "kind": "span", "name": name, "track": "train",
+            "start": start, "end": start + 0.05, "depth": 1,
+            "args": {"nbytes": nbytes},
+        })
+    return spans
+
+
+GOOD_EVENTS = [
+    {"type": "join", "generation": 0, "worker": "w0i0", "slot": 0,
+     "incarnation": 0},
+    {"type": "join", "generation": 0, "worker": "w1i0", "slot": 1,
+     "incarnation": 0},
+    {"type": "generation_formed", "generation": 1, "world": 2,
+     "members": {"w0i0": 0, "w1i0": 1}},
+    {"type": "evicted", "generation": 1, "worker": "w1i0",
+     "reason": "control connection lost"},
+    {"type": "fenced", "generation": 1, "reason": "w1i0 evicted"},
+    {"type": "generation_formed", "generation": 2, "world": 2,
+     "members": {"w0i0": 0, "w1i1": 1}},
+    {"type": "complete", "generation": 2, "world": 2},
+]
+
+
+class TestMembershipReplay:
+    def test_clean_log(self, tmp_path):
+        _write_membership(tmp_path, GOOD_EVENTS)
+        result = verify_cluster_workdir(str(tmp_path))
+        assert result.ok
+        assert result.kind == "cluster"
+        assert result.stats["membership_events"] == len(GOOD_EVENTS)
+
+    def test_reform_without_fence(self, tmp_path):
+        events = [e for e in GOOD_EVENTS if e["type"] != "fenced"]
+        _write_membership(tmp_path, events)
+        result = verify_cluster_workdir(str(tmp_path))
+        assert not result.ok
+        assert {v.invariant for v in result.violations} == {
+            FENCE_DISCIPLINE
+        }
+
+    def test_generation_going_backwards(self, tmp_path):
+        events = list(GOOD_EVENTS[:5]) + [
+            {"type": "generation_formed", "generation": 1, "world": 1,
+             "members": {"w0i0": 0}},
+        ]
+        _write_membership(tmp_path, events)
+        result = verify_cluster_workdir(str(tmp_path))
+        assert any(
+            v.invariant == GENERATION_MONOTONIC for v in result.violations
+        )
+
+    def test_readmission_without_incarnation_bump(self, tmp_path):
+        events = list(GOOD_EVENTS)
+        events[5] = {"type": "generation_formed", "generation": 2,
+                     "world": 2, "members": {"w0i0": 0, "w1i0": 1}}
+        _write_membership(tmp_path, events)
+        result = verify_cluster_workdir(str(tmp_path))
+        assert any(
+            v.invariant == INCARNATION_BUMP for v in result.violations
+        )
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        _write_membership(tmp_path, GOOD_EVENTS, torn_tail=True)
+        result = verify_cluster_workdir(str(tmp_path))
+        assert result.ok
+
+    def test_empty_workdir_is_vacuously_ok(self, tmp_path):
+        result = verify_cluster_workdir(str(tmp_path))
+        assert result.ok
+        assert result.stats["membership_events"] == 0
+
+
+STEP_OPS = [("reduce_scatter", 4000), ("all_gather", 2000)]
+
+
+class TestCollectiveReplay:
+    def test_agreeing_ranks(self, tmp_path):
+        _write_membership(tmp_path, GOOD_EVENTS)
+        for source, rank in (("w0i0", 0), ("w1i0", 1)):
+            _write_stream(tmp_path, source, _step_spans(
+                2, 0, STEP_OPS, rank=rank
+            ))
+        result = verify_cluster_workdir(str(tmp_path))
+        assert result.ok
+        assert result.stats["rank_streams"] == 2
+        assert result.stats["collectives_observed"] == 4
+
+    def test_disagreeing_nbytes(self, tmp_path):
+        _write_membership(tmp_path, GOOD_EVENTS)
+        _write_stream(tmp_path, "w0i0", _step_spans(2, 0, STEP_OPS))
+        _write_stream(tmp_path, "w1i0", _step_spans(
+            2, 0, [("reduce_scatter", 4000), ("all_gather", 9999)], rank=1
+        ))
+        result = verify_cluster_workdir(str(tmp_path))
+        assert not result.ok
+        assert result.violations[0].invariant == COLLECTIVE_AGREEMENT
+        assert "9999" in result.violations[0].message
+
+    def test_killed_rank_prefix_is_legal(self, tmp_path):
+        _write_membership(tmp_path, GOOD_EVENTS)
+        _write_stream(tmp_path, "w0i0", _step_spans(2, 0, STEP_OPS))
+        # w1 was SIGKILLed after the reduce_scatter: a strict prefix.
+        _write_stream(tmp_path, "w1i0", _step_spans(
+            2, 0, STEP_OPS[:1], rank=1
+        ))
+        result = verify_cluster_workdir(str(tmp_path))
+        assert result.ok
+
+    def test_diverging_prefix_is_not(self, tmp_path):
+        _write_membership(tmp_path, GOOD_EVENTS)
+        _write_stream(tmp_path, "w0i0", _step_spans(2, 0, STEP_OPS))
+        _write_stream(tmp_path, "w1i0", _step_spans(
+            2, 0, [("all_gather", 2000)], rank=1
+        ))
+        result = verify_cluster_workdir(str(tmp_path))
+        assert not result.ok
+        assert result.violations[0].invariant == COLLECTIVE_AGREEMENT
+
+    def test_missing_nbytes_is_tolerated(self, tmp_path):
+        # Streams from before the spans carried nbytes (or with
+        # telemetry partially disabled) still verify on op order.
+        _write_membership(tmp_path, GOOD_EVENTS)
+        _write_stream(tmp_path, "w0i0", _step_spans(2, 0, STEP_OPS))
+        _write_stream(tmp_path, "w1i0", _step_spans(
+            2, 0, [("reduce_scatter", None), ("all_gather", None)], rank=1
+        ))
+        result = verify_cluster_workdir(str(tmp_path))
+        assert result.ok
+
+    def test_supervisor_streams_are_ignored(self, tmp_path):
+        _write_membership(tmp_path, GOOD_EVENTS)
+        _write_stream(tmp_path, "w0i0", _step_spans(2, 0, STEP_OPS))
+        _write_stream(tmp_path, "supervisor", _step_spans(
+            2, 0, [("all_gather", 1)]
+        ), role="supervisor")
+        result = verify_cluster_workdir(str(tmp_path))
+        assert result.ok
+        assert result.stats["rank_streams"] == 1
