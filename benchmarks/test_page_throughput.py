@@ -1,0 +1,47 @@
+"""Bench: page-move throughput and copy coalescing per tier edge.
+
+Not a paper table: this is the arena data plane's acceptance gate. The
+zero-copy redesign moves a MoveGroup with one gather/scatter slice copy
+per contiguous run of arena slots — O(runs), not O(pages). This gate
+moves one 32-page group along every edge of the GPU/CPU/SSD hierarchy
+and fails if any edge degenerates back to per-page copies, or if the
+pages-moved/sec gauge (the number `repro profile` publishes into
+BENCH_telemetry.json) stops being recorded.
+"""
+
+from repro.telemetry.bench import ProfileConfig, _page_throughput
+
+
+def test_page_move_throughput(run_once):
+    config = ProfileConfig(steps=2)
+    report = run_once(_page_throughput, config)
+
+    edges = report["edges"]
+    assert set(edges) == {"cpu->gpu", "gpu->cpu", "cpu->ssd", "ssd->cpu"}
+
+    for edge, stats in edges.items():
+        # Every edge moved the whole group...
+        assert stats["pages_moved"] == report["group_pages"], edge
+        assert stats["bytes_moved"] == (
+            report["group_pages"] * report["page_bytes"]
+        ), edge
+
+        # ...in O(runs) copy calls. Fresh pools hand out consecutive
+        # arena slots, so the whole 32-page group is a single contiguous
+        # run: exactly one copy call, not one per page. Anything near
+        # pages_moved means the coalescer regressed to the per-page path.
+        assert stats["copy_calls"] == 1, (
+            f"{edge}: {stats['copy_calls']} copy calls for "
+            f"{stats['pages_moved']} pages — MoveGroup no longer coalesces"
+        )
+        assert stats["pages_per_copy_call"] == report["group_pages"], edge
+
+        # The telemetry gauge behind BENCH_telemetry.json is live.
+        assert stats["pages_moved_per_sec"] > 0, edge
+
+    for edge, stats in sorted(edges.items()):
+        print(
+            f"\n{edge}: {stats['pages_moved']} pages in "
+            f"{stats['copy_calls']} copy call(s), "
+            f"{stats['pages_moved_per_sec']:.0f} pages/s"
+        )

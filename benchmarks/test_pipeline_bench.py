@@ -19,8 +19,9 @@ def test_pipeline_vs_sync(run_once):
     # The hard floor: pipelined throughput must never regress below the
     # sync baseline. (Locally the speedup is ~2x; the margin here only
     # absorbs scheduler noise on loaded CI runners — the win itself is
-    # sleep-backed latency, which does not compress under load.)
-    assert compare["speedup"] >= 1.1, (
+    # sleep-backed latency, which does not compress under load. Raised
+    # from 1.1 once the arena copies stopped serializing on the GIL.)
+    assert compare["speedup"] >= 1.4, (
         f"pipelined runtime regressed: {compare['speedup']:.2f}x vs sync"
     )
 

@@ -30,6 +30,19 @@ from repro.errors import ClusterError, GenerationFencedError
 from repro.zero.collectives import Transport, copy_pages, shard_length
 
 
+def scoped_segment_name(session: str, *parts) -> str:
+    """Compose a collision-free shared-memory segment name.
+
+    The naming discipline every shared-memory consumer in the repo
+    follows: a per-run session token scopes concurrent runs apart, and
+    the remaining parts (generation, sequence, rank — or tier, arena id)
+    scope segments within the run. Also used by
+    :class:`repro.memory.arena.ArenaPoolBackend` and the page copy
+    service, so one ``ls /dev/shm`` groups a run's segments together.
+    """
+    return session + "".join(str(part) for part in parts)
+
+
 def _attach(name: str) -> shared_memory.SharedMemory:
     """Attach to a peer's segment.
 
@@ -62,7 +75,9 @@ class SharedMemoryTransport(Transport):
     # Naming
     # ------------------------------------------------------------------
     def _segment_name(self, seq: int, rank: int) -> str:
-        return f"{self.session}g{self.generation}c{seq}r{rank}"
+        return scoped_segment_name(
+            self.session, "g", self.generation, "c", seq, "r", rank
+        )
 
     # ------------------------------------------------------------------
     # The exchange round shared by both collectives

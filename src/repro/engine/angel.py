@@ -68,6 +68,7 @@ _ANGEL_CONFIG_FIELDS = (
     "pipeline",
     "prefetch_window",
     "writeback",
+    "io_workers",
     "owner",
 )
 
@@ -94,6 +95,15 @@ class AngelConfig:
     #: Flush FP32 states through the async writeback queue instead of
     #: synchronously inside the update sweep (pipeline mode only).
     writeback: bool = True
+    #: Where the page-copy data plane runs. ``"thread"`` keeps every byte
+    #: copy in-process (the PR 5 behaviour); ``"process"`` backs the GPU
+    #: and CPU pools with named shared-memory arenas and routes coalesced
+    #: page copies plus FP32-state scatters through a
+    #: :class:`~repro.runtime.ioproc.PageCopyService` worker process —
+    #: outside this interpreter's GIL. The prefetch/writeback *control*
+    #: plane stays on threads either way (it shares condition variables
+    #: with the compute loop); only the data plane moves.
+    io_workers: str = "thread"
     #: Tenant this engine's pages belong to under multi-tenancy
     #: (``repro.fleet``); labels every page and names the pools.
     owner: str | None = None
@@ -127,6 +137,11 @@ class AngelConfig:
             )
         if self.prefetch_window < 1:
             raise ConfigurationError("prefetch_window must be >= 1")
+        if self.io_workers not in ("thread", "process"):
+            raise ConfigurationError(
+                "io_workers must be 'thread' or 'process', "
+                f"got {self.io_workers!r}"
+            )
         if self.quota is not None and self.owner is None:
             raise ConfigurationError("quota enforcement requires an owner")
 
@@ -196,14 +211,17 @@ class AngelModel:
             self.telemetry = NULL_TELEMETRY
         telemetry = self.telemetry if self.telemetry.enabled else None
 
+        # Process-mode data plane: RAM tiers live in *named* shared-memory
+        # arenas so the copy worker can attach them by descriptor.
+        ram_backend = "shm" if config.io_workers == "process" else "ram"
         pools = {
             DeviceKind.GPU: DevicePool(
                 DeviceKind.GPU, config.gpu_memory_bytes, config.page_bytes,
-                backend="ram", telemetry=telemetry, owner=config.owner,
+                backend=ram_backend, telemetry=telemetry, owner=config.owner,
             ),
             DeviceKind.CPU: DevicePool(
                 DeviceKind.CPU, config.cpu_memory_bytes, config.page_bytes,
-                backend="ram", telemetry=telemetry, owner=config.owner,
+                backend=ram_backend, telemetry=telemetry, owner=config.owner,
             ),
         }
         if config.ssd_bytes:
@@ -229,6 +247,18 @@ class AngelModel:
         )
         self._state_tier = DeviceKind.SSD if config.ssd_bytes else DeviceKind.CPU
 
+        #: Out-of-process data plane (io_workers="process"): coalesced
+        #: page-run copies and FP32-state scatters execute in the copy
+        #: worker, leaving this interpreter's GIL to the compute thread.
+        self._io_service = None
+        if config.io_workers == "process":
+            # Deferred import: multiprocessing spawn machinery is only
+            # paid for by engines that opt in.
+            from repro.runtime.ioproc import PageCopyService
+
+            self._io_service = PageCopyService()
+            self.allocator.io_service = self._io_service
+
         self._managed: list[_Managed] = []
         self._by_param: dict[int, _Managed] = {}
         try:
@@ -238,6 +268,8 @@ class AngelModel:
             # return the pages (and any quota charges) before propagating —
             # a tenant rejected at its quota must not leak charged pages.
             self.allocator.close()
+            if self._io_service is not None:
+                self._io_service.close()
             raise
         self._buffers = GradientBuffers([m.param for m in self._managed])
         self._install_hooks()
@@ -379,7 +411,7 @@ class AngelModel:
             if managed.fp16.device_kind == DeviceKind.GPU:
                 continue
             try:
-                managed.fp16.move(DeviceKind.GPU)
+                self.allocator.move_pages([managed.fp16], DeviceKind.GPU)
             except OutOfMemoryError:
                 return  # best effort: never evict for a prefetch
 
@@ -402,14 +434,14 @@ class AngelModel:
         )
         while True:
             try:
-                managed.fp16.move(DeviceKind.GPU)
+                self.allocator.move_pages([managed.fp16], DeviceKind.GPU)
                 return
             except OutOfMemoryError:
                 victim = self._pick_victim(pinned)
                 if victim is None:
                     raise
                 self._evict_counter.inc()
-                victim.fp16.move(DeviceKind.CPU)
+                self.allocator.move_pages([victim.fp16], DeviceKind.CPU)
 
     def _pick_victim(self, pinned: set[int]) -> _Managed | None:
         """Least-recently-used GPU-resident parameter outside ``pinned``."""
@@ -514,7 +546,7 @@ class AngelModel:
                 break
             try:
                 with self._move_lock:
-                    self.allocator.move_many(tensors, DeviceKind.GPU)
+                    self.allocator.move_pages(tensors, DeviceKind.GPU)
             except OutOfMemoryError:
                 break
             self._cache_resident.add(layer)
@@ -525,14 +557,14 @@ class AngelModel:
     def _pipeline_fetch(self, layer: int) -> None:
         """Worker callback: stage one layer's FP16 pages onto the GPU."""
         with self._move_lock:
-            self.allocator.move_many(
+            self.allocator.move_pages(
                 [m.fp16 for m in self._layer_managed[layer]], DeviceKind.GPU
             )
 
     def _pipeline_evict(self, layer: int) -> None:
         """Worker callback: return one layer's FP16 pages to the CPU."""
         with self._move_lock:
-            self.allocator.move_many(
+            self.allocator.move_pages(
                 [m.fp16 for m in self._layer_managed[layer]], DeviceKind.CPU
             )
 
@@ -648,27 +680,65 @@ class AngelModel:
                 # on the next sweep while the flush may still be queued.
                 writeback.submit(
                     index,
-                    lambda t=managed.master, a=opt.master[index].copy(): t.write_array(a),
+                    lambda t=managed.master,
+                    a=opt.master[index].copy(): self._flush_state(t, a),
                 )
                 writeback.submit(
                     index,
-                    lambda t=managed.moment1, a=opt.m[index].copy(): t.write_array(a),
+                    lambda t=managed.moment1,
+                    a=opt.m[index].copy(): self._flush_state(t, a),
                 )
                 writeback.submit(
                     index,
-                    lambda t=managed.moment2, a=opt.v[index].copy(): t.write_array(a),
+                    lambda t=managed.moment2,
+                    a=opt.v[index].copy(): self._flush_state(t, a),
                 )
             else:
                 # Synchronous path: no pipeline, or the state pages are
                 # GPU-cache-resident and the write is a cheap pool write.
-                self._io(lambda: managed.master.write_array(opt.master[index]))
-                self._io(lambda: managed.moment1.write_array(opt.m[index]))
-                self._io(lambda: managed.moment2.write_array(opt.v[index]))
+                self._io(lambda: self._flush_state(managed.master, opt.master[index]))
+                self._io(lambda: self._flush_state(managed.moment1, opt.m[index]))
+                self._io(lambda: self._flush_state(managed.moment2, opt.v[index]))
             # The FP16 refresh stays synchronous: the very next forward
             # reads it, and deferring it would reintroduce staleness.
             with self._move_lock:
                 managed.fp16.write_array(refreshed.astype(np.float16))
             managed.param.data[...] = refreshed
+
+    def _flush_state(self, tensor: PagedTensor, array: np.ndarray) -> None:
+        """Write one FP32 state snapshot into its pages.
+
+        With the out-of-process data plane active and the tensor's pages
+        in a single descriptor-exporting arena, the payload is staged
+        once into a shared segment and the copy worker scatters it page
+        by page — the per-page byte pushing leaves this interpreter.
+        Otherwise (thread mode, fault-wrapped SSD backends, pages split
+        across pools) this is exactly ``tensor.write_array``.
+        """
+        service = self._io_service
+        if service is not None and service.alive:
+            array = np.ascontiguousarray(array, dtype=tensor.dtype)
+            descriptor = self._scatter_descriptor(tensor)
+            if descriptor is not None and array.nbytes == tensor.nbytes:
+                raw = array.view(np.uint8).reshape(-1)
+                runs = []
+                for page, offset, nbytes, cursor in tensor._segments():
+                    storage = page.storage
+                    arena_offset = (
+                        storage.index * storage.pool.page_bytes + offset
+                    )
+                    runs.append((cursor, arena_offset, nbytes))
+                service.scatter(descriptor, raw, runs)
+                return
+        tensor.write_array(array)
+
+    @staticmethod
+    def _scatter_descriptor(tensor: PagedTensor):
+        """The tensor's single arena descriptor, or None if not scatterable."""
+        pools = {id(page.pool): page.pool for page in tensor.page_list}
+        if len(pools) != 1:
+            return None
+        return next(iter(pools.values())).backend_descriptor()
 
     # ------------------------------------------------------------------
     # Graceful degradation (Section 3.1's failure model)
@@ -769,6 +839,10 @@ class AngelModel:
                     writeback.close()
         finally:
             self.allocator.close()
+            if self._io_service is not None:
+                service, self._io_service = self._io_service, None
+                self.allocator.io_service = None
+                service.close()
 
     def __enter__(self) -> "AngelModel":
         return self

@@ -2,24 +2,31 @@
 
 The ``Page`` is the minimum unit of every memory operation — allocation,
 release, movement and communication. Device pools pre-allocate their
-capacity up front (as Angel-PTM's Allocator does, Section 5) and hand out
-fixed-size pages; tensors are composed of pages with at most two tensors
-sharing one page.
+capacity up front (as Angel-PTM's Allocator does, Section 5) as one
+contiguous arena and hand out fixed-size pages; tensors are composed of
+pages with at most two tensors sharing one page. Page moves go through
+:meth:`PageAllocator.move_pages`, which coalesces contiguous arena runs
+into single zero-copy slice copies.
 
 Three baseline allocators used by the fragmentation ablation live here too:
 TensorFlow-style best-fit-with-coalescing (BFC), PatrickStar-style chunks,
 and a PyTorch-style caching allocator.
 """
 
+from repro.memory.arena import ArenaPoolBackend, LegacyBackendAdapter
 from repro.memory.page import DEFAULT_PAGE_BYTES, Page, PageState
-from repro.memory.pool import DevicePool, FilePoolBackend, NullPoolBackend, RamPoolBackend
-from repro.memory.allocator import PageAllocator, PageQuota
+from repro.memory.pool import DevicePool, FilePoolBackend, NullPoolBackend
+from repro.memory.allocator import MovePlan, MoveReport, PageAllocator, PageQuota
 from repro.memory.tensor import PagedTensor
 from repro.memory.fragmentation import FragmentationStats
 
 __all__ = [
+    "ArenaPoolBackend",
     "PageQuota",
     "DEFAULT_PAGE_BYTES",
+    "LegacyBackendAdapter",
+    "MovePlan",
+    "MoveReport",
     "Page",
     "PageState",
     "DevicePool",
@@ -30,3 +37,24 @@ __all__ = [
     "PagedTensor",
     "FragmentationStats",
 ]
+
+_DEPRECATED = {
+    # PEP 562: imported lazily so the warning fires at first use, not at
+    # package import (the pattern established in repro/__init__.py).
+    "RamPoolBackend": "repro.memory.pool",
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        import importlib
+        import warnings
+
+        warnings.warn(
+            f"repro.memory.{name} is deprecated; pools allocate one "
+            "contiguous arena via repro.memory.arena.ArenaPoolBackend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(_DEPRECATED[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -20,14 +20,124 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
+import warnings
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import AllocationError, QuotaExceededError, TensorStateError
 from repro.hardware.device import DeviceKind
-from repro.memory.page import Page
+from repro.memory.page import Page, PageState
 from repro.memory.pool import DevicePool
 from repro.memory.tensor import PagedTensor
+
+
+@dataclass
+class MovePlan:
+    """The pages a move will actually transfer, deduplicated.
+
+    Built by :meth:`PageAllocator.plan_move`: pages already resident on
+    ``device`` are skipped and a page shared by two tensors (tail
+    sharing, §4.1) appears exactly once. A plan is immediate — execute it
+    with :meth:`PageAllocator.move_pages` before releasing or moving the
+    tensors it covers.
+    """
+
+    device: DeviceKind
+    pages: list[Page] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(page.total_bytes for page in self.pages)
+
+
+@dataclass
+class MoveReport:
+    """What one :meth:`PageAllocator.move_pages` call physically did."""
+
+    pages_moved: int = 0
+    bytes_moved: int = 0
+    #: Physical gather/scatter copies issued — O(contiguous runs), not
+    #: O(pages), when arena slots line up.
+    copy_calls: int = 0
+
+    def merge(self, other: "MoveReport") -> None:
+        self.pages_moved += other.pages_moved
+        self.bytes_moved += other.bytes_moved
+        self.copy_calls += other.copy_calls
+
+
+def _coalesce_runs(pairs):
+    """Group (page, src_index, dst_storage) triples into contiguous runs.
+
+    ``pairs`` is sorted by source arena index; a run extends while BOTH
+    the source and destination indices advance by exactly one page, so
+    each run is a single gather/scatter slice copy on both arenas.
+    """
+    runs = []
+    current = [pairs[0]]
+    for prev, item in zip(pairs, pairs[1:]):
+        if (
+            item[1] == prev[1] + 1
+            and item[2].index == prev[2].index + 1
+        ):
+            current.append(item)
+        else:
+            runs.append(current)
+            current = [item]
+    runs.append(current)
+    return runs
+
+
+def _copy_page_run(src_pool, dst_pool, src_start, dst_start, npages,
+                   io_service=None):
+    """Copy ``npages`` physically-consecutive pages between two arenas.
+
+    One slice copy when both ends expose arena views; a single
+    ``readinto``/``write_from`` when one end is view-less (file tiers,
+    fault-injection wrappers); a staging buffer only when both are. When
+    an ``io_service`` (the out-of-process page copy worker) is provided
+    and both backends export attachable descriptors, the copy happens in
+    the worker process — outside this interpreter's GIL.
+    """
+    page_bytes = src_pool.page_bytes
+    nbytes = npages * page_bytes
+    read_counter = src_pool._read_bytes
+    if read_counter is not None:
+        read_counter.inc(nbytes)
+    write_counter = dst_pool._write_bytes
+    if write_counter is not None:
+        write_counter.inc(nbytes)
+    if io_service is not None:
+        src_desc = src_pool.backend_descriptor()
+        dst_desc = dst_pool.backend_descriptor()
+        if src_desc is not None and dst_desc is not None:
+            io_service.copy(
+                src_desc, dst_desc,
+                [(src_start * page_bytes, dst_start * page_bytes, nbytes)],
+            )
+            return
+    src_backend = src_pool._backend
+    dst_backend = dst_pool._backend
+    src_view = (
+        src_backend.view(src_start, 0, nbytes)
+        if hasattr(src_backend, "view") else None
+    )
+    dst_view = (
+        dst_backend.view(dst_start, 0, nbytes)
+        if hasattr(dst_backend, "view") else None
+    )
+    if src_view is not None and dst_view is not None:
+        dst_view[:] = src_view
+    elif dst_view is not None:
+        src_backend.readinto(src_start, 0, dst_view)
+    elif src_view is not None:
+        dst_backend.write_from(dst_start, 0, src_view)
+    else:
+        staging = bytearray(nbytes)
+        src_backend.readinto(src_start, 0, staging)
+        dst_backend.write_from(dst_start, 0, staging)
 
 
 class PageQuota:
@@ -177,6 +287,10 @@ class PageAllocator:
         # Pages currently charged to the ledger by *this* allocator, so
         # close() can return the whole footprint in one credit.
         self._pages_charged = 0
+        #: Optional repro.runtime.ioproc.PageCopyService: when set, page
+        #: run copies between descriptor-exporting arenas execute in the
+        #: copy worker process instead of under this interpreter's GIL.
+        self.io_service = None
         self.page_bytes = page_sizes.pop()
         self._tensor_ids = itertools.count()
         self._tensors: dict[int, PagedTensor] = {}
@@ -332,37 +446,33 @@ class PageAllocator:
         del self._tensors[tensor.tensor_id]
 
     def move(self, tensor: PagedTensor, device: DeviceKind) -> None:
-        """Move every page of ``tensor`` to ``device`` (co-tenants come too)."""
-        tensor._check_live()
-        target = self.pool(device)
-        telemetry = self.telemetry
-        with telemetry.span(
-            f"move.to_{device.name.lower()}", track="pcie", tensor=tensor.tensor_id
-        ):
-            for page in tensor.page_list:
-                if page.pool is not target:
-                    self._forget_shared(page)
-                    src = page.pool.device_kind
-                    if self.retry_policy is not None:
-                        self.retry_policy.run(lambda p=page: p.move(target))
-                    else:
-                        page.move(target)
-                    telemetry.record_page_move(
-                        src.name.lower(), device.name.lower(), page.total_bytes
-                    )
+        """Deprecated: use :meth:`move_pages` (``move_pages([tensor], device)``)."""
+        warnings.warn(
+            "PageAllocator.move is deprecated; use move_pages([tensor], device)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.move_pages([tensor], device)
 
     def move_many(self, tensors, device: DeviceKind) -> int:
-        """Coalesced move: batch several tensors' pages onto ``device``.
+        """Deprecated: use :meth:`move_pages`; returns bytes moved."""
+        warnings.warn(
+            "PageAllocator.move_many is deprecated; use move_pages(tensors, "
+            "device) and read .bytes_moved off the returned MoveReport",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.move_pages(tensors, device).bytes_moved
 
-        Small page moves along the same (src, dst) edge are folded into
-        one transfer burst — one span, one telemetry batch record —
-        instead of a span-per-tensor (the pipelined runtime's PCIe-burst
-        coalescing). Pages already on ``device`` are skipped, and a page
-        shared by two tensors (tail sharing, §4.1) moves once. Returns
-        the number of bytes actually transferred.
+    def plan_move(self, tensors, device: DeviceKind) -> MovePlan:
+        """Deduplicate ``tensors``' pages into the set ``device`` lacks.
+
+        Pages already resident on ``device`` are skipped and a page
+        shared by two tensors' tails appears exactly once, so executing
+        the plan moves each physical page at most once.
         """
         target = self.pool(device)
-        pending = []
+        plan = MovePlan(device=device)
         seen: set[int] = set()
         for tensor in tensors:
             tensor._check_live()
@@ -370,30 +480,129 @@ class PageAllocator:
                 if page.pool is target or id(page) in seen:
                     continue
                 seen.add(id(page))
-                pending.append(page)
-        if not pending:
-            return 0
-        telemetry = self.telemetry
-        moved = 0
-        with telemetry.span(
-            f"movebatch.to_{device.name.lower()}", track="pcie",
-            pages=len(pending),
-        ):
-            for page in pending:
-                self._forget_shared(page)
-                src = page.pool.device_kind
-                if self.retry_policy is not None:
-                    self.retry_policy.run(lambda p=page: p.move(target))
-                else:
-                    page.move(target)
-                telemetry.record_page_move(
-                    src.name.lower(), device.name.lower(), page.total_bytes
+                plan.pages.append(page)
+        return plan
+
+    def move_pages(self, tensors, device: DeviceKind | None = None) -> MoveReport:
+        """The one move entry point: transfer a batch of pages to a tier.
+
+        ``tensors`` is either an iterable of :class:`PagedTensor` (with
+        ``device``) or a prebuilt :class:`MovePlan`. Pages are grouped by
+        source pool, sorted by arena slot, paired with the lowest free
+        destination slots and coalesced into contiguous runs — each run
+        is ONE gather/scatter slice copy between arenas (O(runs) copy
+        calls for an N-page MoveGroup, the §5 PCIe-burst behaviour),
+        executed under the retry policy and recorded per (src, dst) edge
+        as ``pages.copy_calls`` / ``pages.bytes_per_copy_call`` /
+        ``pages.moved_per_sec``.
+
+        Failure semantics match the old per-page path: pages of
+        already-completed runs stay moved; the failing run and everything
+        after it roll back to RESIDENT on the source tier before the
+        error propagates.
+        """
+        if isinstance(tensors, MovePlan):
+            plan = tensors
+            if device is not None and device is not plan.device:
+                raise AllocationError(
+                    f"plan targets {plan.device.name}, call asked {device.name}"
                 )
-                moved += page.total_bytes
+        else:
+            if device is None:
+                raise AllocationError("move_pages needs a target device")
+            plan = self.plan_move(tensors, device)
+        device = plan.device
+        target = self.pool(device)
+        report = MoveReport()
+        if not plan.pages:
+            return report
+        telemetry = self.telemetry
+        # Group by source pool: each (src, dst) edge coalesces separately.
+        by_pool: dict[int, list[Page]] = {}
+        pools: dict[int, DevicePool] = {}
+        for page in plan.pages:
+            key = id(page.pool)
+            pools[key] = page.pool
+            by_pool.setdefault(key, []).append(page)
+        dst_name = device.name.lower()
+        with telemetry.span(
+            f"movebatch.to_{dst_name}", track="pcie", pages=len(plan.pages)
+        ):
+            for key, pages in by_pool.items():
+                src_pool = pools[key]
+                edge = self._move_group(src_pool, target, pages)
+                report.merge(edge)
         if telemetry.enabled:
             telemetry.counter("pipeline.move_batches").inc()
-            telemetry.counter("pipeline.coalesced_pages").inc(len(pending))
-        return moved
+            telemetry.counter("pipeline.coalesced_pages").inc(len(plan.pages))
+        return report
+
+    def _move_group(self, src_pool: DevicePool, target: DevicePool,
+                    pages: list[Page]) -> MoveReport:
+        """Move one source pool's pages to ``target`` in coalesced runs."""
+        src_name = src_pool.device_kind.name.lower()
+        dst_name = target.device_kind.name.lower()
+        telemetry = self.telemetry
+        for page in pages:
+            self._forget_shared(page)
+            page.state = PageState.MOVING
+        # Ascending source slots paired with the lowest free destination
+        # slots (both sorted) maximizes run length on both arenas.
+        pairs = sorted(
+            ((page, page.storage.index) for page in pages),
+            key=lambda item: item[1],
+        )
+        try:
+            dst_storages = target.acquire_storage_run(len(pages))
+        except Exception:
+            for page in pages:
+                page.state = PageState.RESIDENT
+            raise
+        triples = [
+            (page, src_index, dst)
+            for (page, src_index), dst in zip(pairs, dst_storages)
+        ]
+        runs = _coalesce_runs(triples)
+        report = MoveReport()
+        started = time.perf_counter()
+        for run_index, run in enumerate(runs):
+            src_start = run[0][1]
+            dst_start = run[0][2].index
+            try:
+                if self.retry_policy is not None:
+                    self.retry_policy.run(
+                        lambda s=src_start, d=dst_start, n=len(run):
+                        _copy_page_run(src_pool, target, s, d, n,
+                                       io_service=self.io_service)
+                    )
+                else:
+                    _copy_page_run(src_pool, target, src_start, dst_start,
+                                   len(run), io_service=self.io_service)
+            except Exception:
+                # This run and every later one roll back; earlier runs
+                # were already re-homed and stay moved.
+                for pending in runs[run_index:]:
+                    for page, _, dst in pending:
+                        target.release_storage(dst)
+                        page.state = PageState.RESIDENT
+                raise
+            # Re-home the run's pages: release the source slots, attach
+            # the destination storages.
+            for page, _, dst in run:
+                src_pool.release_storage(page._storage)
+                page._storage = dst
+                page.state = PageState.RESIDENT
+                telemetry.record_page_move(src_name, dst_name,
+                                           page.total_bytes)
+                report.pages_moved += 1
+                report.bytes_moved += page.total_bytes
+            report.copy_calls += 1
+        elapsed = time.perf_counter() - started
+        telemetry.record_copy_batch(
+            src_name, dst_name, report.pages_moved, report.bytes_moved,
+            report.copy_calls, elapsed,
+        )
+        return report
 
     def drop_pool(self, device: DeviceKind) -> None:
         """Remove a (dead) tier's pool; no live tensor may still use it.

@@ -3,113 +3,98 @@
 Angel-PTM's Allocator "pre-allocate[s] space from the hierarchical memory of
 the system, including GPU memory, CPU pinned memory, and SSD memory" and
 divides it into fixed-size pages (Section 5). A :class:`DevicePool` does the
-same: capacity is reserved at construction, pages are acquired from and
-returned to a free list, and the backend decides where the bytes physically
-live:
+same: capacity is reserved at construction as **one contiguous arena**,
+pages are acquired from and returned to a free list, and the backend
+decides where the bytes physically live:
 
-- :class:`RamPoolBackend` — numpy byte buffers (used for the simulated
-  "GPU" and the real CPU tier),
-- :class:`FilePoolBackend` — regions of a real file on disk (the SSD tier,
-  exercising genuine storage I/O),
+- :class:`~repro.memory.arena.ArenaPoolBackend` — an anonymous ``mmap``
+  arena (``backend="ram"``, the simulated "GPU" and the real CPU tier) or
+  a named ``multiprocessing.shared_memory`` segment (``backend="shm"``)
+  that worker processes can attach by name,
+- :class:`~repro.memory.arena.FilePoolBackend` — one preallocated,
+  memory-mapped arena file (the SSD tier, exercising genuine storage I/O),
 - :class:`NullPoolBackend` — capacity accounting only, for pure
   discrete-event simulation at paper scale.
+
+Backends speak the buffer-protocol storage API
+(:class:`repro.protocols.PoolBackend`): ``readinto``/``write_from`` move
+bytes through caller-supplied buffers, RAM-like arenas add zero-copy
+``view`` windows, and legacy bytes-based backends are adapted through a
+one-release :class:`~repro.memory.arena.LegacyBackendAdapter` shim.
 """
 
 from __future__ import annotations
 
-import os
-import tempfile
-
-import numpy as np
+import heapq
+import warnings
 
 from repro.errors import AllocationError, OutOfMemoryError, PageStateError
 from repro.hardware.device import DeviceKind
-from repro.memory.page import DEFAULT_PAGE_BYTES, Page
+from repro.memory.arena import ArenaPoolBackend, FilePoolBackend, adapt_backend
+from repro.memory.page import DEFAULT_PAGE_BYTES, Page, copy_storage
+
+__all__ = [
+    "DevicePool",
+    "FilePoolBackend",
+    "NullPoolBackend",
+    "RamPoolBackend",
+    "copy_storage",
+]
 
 
 class _Storage:
     """Handle to one page-sized region owned by a pool."""
+
+    __slots__ = ("pool", "index", "nbytes")
 
     def __init__(self, pool: "DevicePool", index: int, nbytes: int):
         self.pool = pool
         self.index = index
         self.nbytes = nbytes
 
-    def read(self, offset: int, nbytes: int) -> bytes:
+    # ------------------------------------------------------------------
+    # Buffer-protocol access (the hot path)
+    # ------------------------------------------------------------------
+    def try_view(self, offset: int, nbytes: int) -> memoryview | None:
+        """Zero-copy window into the page, or None on view-less tiers."""
+        self._check_range(offset, nbytes)
+        backend = self.pool._backend
+        if not hasattr(backend, "view"):
+            return None
+        return backend.view(self.index, offset, nbytes)
+
+    def readinto(self, offset: int, buf) -> int:
+        nbytes = memoryview(buf).nbytes
         self._check_range(offset, nbytes)
         counter = self.pool._read_bytes
         if counter is not None:
             counter.inc(nbytes)
-        return self.pool._backend.read(self.index, offset, nbytes)
+        return self.pool._backend.readinto(self.index, offset, buf)
 
-    def write(self, offset: int, data: bytes) -> None:
-        self._check_range(offset, len(data))
+    def write_from(self, offset: int, buf) -> int:
+        nbytes = memoryview(buf).nbytes
+        self._check_range(offset, nbytes)
         counter = self.pool._write_bytes
         if counter is not None:
-            counter.inc(len(data))
-        self.pool._backend.write(self.index, offset, data)
+            counter.inc(nbytes)
+        return self.pool._backend.write_from(self.index, offset, buf)
+
+    # ------------------------------------------------------------------
+    # Bytes convenience (tests, small control-plane reads)
+    # ------------------------------------------------------------------
+    def read(self, offset: int, nbytes: int) -> bytes:
+        buf = bytearray(nbytes)
+        self.readinto(offset, buf)
+        return bytes(buf)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self.write_from(offset, data)
 
     def _check_range(self, offset: int, nbytes: int) -> None:
         if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
             raise AllocationError(
                 f"access [{offset}, {offset + nbytes}) outside page of {self.nbytes} bytes"
             )
-
-
-class RamPoolBackend:
-    """Physical pages held as numpy byte buffers in process memory."""
-
-    def __init__(self, num_pages: int, page_bytes: int):
-        self._buffers = [np.zeros(page_bytes, dtype=np.uint8) for _ in range(num_pages)]
-
-    def read(self, index: int, offset: int, nbytes: int) -> bytes:
-        return self._buffers[index][offset:offset + nbytes].tobytes()
-
-    def write(self, index: int, offset: int, data: bytes) -> None:
-        view = np.frombuffer(data, dtype=np.uint8)
-        self._buffers[index][offset:offset + len(data)] = view
-
-    def close(self) -> None:
-        self._buffers.clear()
-
-
-class FilePoolBackend:
-    """Physical pages stored as regions of one file on disk.
-
-    This is the reproduction's SSD tier: reads and writes hit the
-    filesystem for real, so SSD-path code is exercised end to end.
-    """
-
-    def __init__(self, num_pages: int, page_bytes: int, path: str | None = None):
-        self._page_bytes = page_bytes
-        if path is None:
-            fd, path = tempfile.mkstemp(prefix="repro-ssd-", suffix=".bin")
-            os.close(fd)
-            self._owns_file = True
-        else:
-            self._owns_file = False
-        self._path = path
-        with open(self._path, "wb") as f:
-            f.truncate(num_pages * page_bytes)
-        self._file = open(self._path, "r+b", buffering=0)
-
-    @property
-    def path(self) -> str:
-        return self._path
-
-    def read(self, index: int, offset: int, nbytes: int) -> bytes:
-        self._file.seek(index * self._page_bytes + offset)
-        return self._file.read(nbytes)
-
-    def write(self, index: int, offset: int, data: bytes) -> None:
-        self._file.seek(index * self._page_bytes + offset)
-        self._file.write(data)
-
-    def close(self) -> None:
-        if not self._file.closed:
-            self._file.close()
-        if self._owns_file and os.path.exists(self._path):
-            os.unlink(self._path)
 
 
 class NullPoolBackend:
@@ -120,18 +105,53 @@ class NullPoolBackend:
     """
 
     def __init__(self, num_pages: int, page_bytes: int):
-        del num_pages
-        self._page_bytes = page_bytes
+        self.num_pages = num_pages
+        self.page_bytes = page_bytes
 
-    def read(self, index: int, offset: int, nbytes: int) -> bytes:
+    def readinto(self, index: int, offset: int, buf) -> int:
         del index, offset
-        return bytes(nbytes)
+        target = memoryview(buf).cast("B")
+        target[:] = bytes(len(target))
+        return len(target)
 
-    def write(self, index: int, offset: int, data: bytes) -> None:
-        del index, offset, data
+    def write_from(self, index: int, offset: int, buf) -> int:
+        del index, offset
+        return memoryview(buf).nbytes
 
     def close(self) -> None:
         pass
+
+
+class RamPoolBackend(ArenaPoolBackend):
+    """Deprecated name for the private-RAM arena backend.
+
+    Pages no longer live in a list of numpy buffers; construct
+    :class:`~repro.memory.arena.ArenaPoolBackend` (or pass
+    ``backend="ram"`` to :class:`DevicePool`) instead.
+    """
+
+    def __init__(self, num_pages: int, page_bytes: int):
+        warnings.warn(
+            "RamPoolBackend is deprecated; use repro.memory.arena."
+            "ArenaPoolBackend (or DevicePool(backend='ram'))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(num_pages, page_bytes, shared=False)
+
+
+def _build_backend(backend, num_pages: int, page_bytes: int, file_path, name):
+    if not isinstance(backend, str):
+        return adapt_backend(backend)
+    if backend == "ram":
+        return ArenaPoolBackend(num_pages, page_bytes, shared=False)
+    if backend == "shm":
+        return ArenaPoolBackend(num_pages, page_bytes, shared=True)
+    if backend == "file":
+        return FilePoolBackend(num_pages, page_bytes, path=file_path)
+    if backend == "null":
+        return NullPoolBackend(num_pages, page_bytes)
+    raise AllocationError(f"unknown pool backend {backend!r}")
 
 
 class DevicePool:
@@ -171,14 +191,13 @@ class DevicePool:
             if owner is not None:
                 name = f"{owner}/{name}"
         self.name = name
-        if backend == "ram":
-            self._backend = RamPoolBackend(self.num_pages, page_bytes)
-        elif backend == "file":
-            self._backend = FilePoolBackend(self.num_pages, page_bytes, path=file_path)
-        elif backend == "null":
-            self._backend = NullPoolBackend(self.num_pages, page_bytes)
-        else:
-            raise AllocationError(f"unknown pool backend {backend!r}")
+        self._backend = _build_backend(
+            backend, self.num_pages, page_bytes, file_path, name
+        )
+        # Min-heap of free page indices: sequential acquires hand out
+        # ascending, physically-consecutive arena slots, so a tensor's
+        # pages form contiguous runs that move_pages coalesces into
+        # single slice copies.
         self._free_indices: list[int] = list(range(self.num_pages))
         self._in_use = 0
         self.peak_in_use = 0
@@ -192,38 +211,73 @@ class DevicePool:
 
         Used by ``repro.resilience`` to inject faults into a tier without
         the pool, pages or tensors knowing; the wrapper must expose the
-        backend protocol (``read``/``write``/``close``).
+        backend protocol (:class:`repro.protocols.PoolBackend`, or the
+        legacy ``read``/``write``/``close`` surface, which is adapted
+        with a :class:`DeprecationWarning`). A wrapper that does not
+        re-export ``view``/``descriptor`` forces every copy through its
+        ``readinto``/``write_from`` — exactly what fault injection wants.
         """
-        self._backend = wrapper(self._backend)
+        self._backend = adapt_backend(wrapper(self._backend))
+
+    def backend_descriptor(self) -> tuple[str, str] | None:
+        """(kind, address) the page copy service can attach, or None."""
+        descriptor = getattr(self._backend, "descriptor", None)
+        if descriptor is None:
+            return None
+        return descriptor()
 
     # ------------------------------------------------------------------
-    # Storage lifecycle (used by Page.move and by acquire/release below)
+    # Storage lifecycle (used by page moves and by acquire/release below)
     # ------------------------------------------------------------------
+    def _oom(self, requested_bytes: int) -> OutOfMemoryError:
+        exc = OutOfMemoryError(
+            device=self.name,
+            requested_bytes=requested_bytes,
+            available_bytes=self.free_bytes,
+        )
+        if self.oom_observer is not None:
+            self.oom_observer(exc)
+        return exc
+
     def acquire_storage(self, nbytes: int) -> _Storage:
         if nbytes > self.page_bytes:
             raise AllocationError(
                 f"{self.name}: page of {nbytes} bytes exceeds pool page size"
             )
         if not self._free_indices:
-            exc = OutOfMemoryError(
-                device=self.name,
-                requested_bytes=self.page_bytes,
-                available_bytes=self.free_bytes,
-            )
-            if self.oom_observer is not None:
-                self.oom_observer(exc)
-            raise exc
-        index = self._free_indices.pop()
+            raise self._oom(self.page_bytes)
+        index = heapq.heappop(self._free_indices)
         self._in_use += 1
         self.peak_in_use = max(self.peak_in_use, self._in_use)
         return _Storage(self, index, self.page_bytes)
+
+    def acquire_storage_run(self, count: int) -> list[_Storage]:
+        """Acquire ``count`` pages at the lowest free arena slots.
+
+        All-or-nothing: raises :class:`~repro.errors.OutOfMemoryError`
+        without taking anything when fewer than ``count`` pages are free.
+        Handing out the smallest indices keeps freed holes refilled
+        first, so long-lived pools stay contiguous and a MoveGroup's
+        destination slots coalesce into few runs.
+        """
+        if count <= 0:
+            return []
+        if len(self._free_indices) < count:
+            raise self._oom(count * self.page_bytes)
+        taken = sorted(self._free_indices)[:count]
+        cut = set(taken)
+        self._free_indices = [i for i in self._free_indices if i not in cut]
+        heapq.heapify(self._free_indices)
+        self._in_use += count
+        self.peak_in_use = max(self.peak_in_use, self._in_use)
+        return [_Storage(self, index, self.page_bytes) for index in taken]
 
     def release_storage(self, storage: _Storage) -> None:
         if storage.pool is not self:
             raise PageStateError("storage released to the wrong pool")
         if storage.index in self._free_indices:
             raise PageStateError(f"double free of page index {storage.index}")
-        self._free_indices.append(storage.index)
+        heapq.heappush(self._free_indices, storage.index)
         self._in_use -= 1
 
     # ------------------------------------------------------------------

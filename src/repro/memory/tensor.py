@@ -100,8 +100,16 @@ class PagedTensor:
         self._require_allocator().release(self)
 
     def move(self, target: DeviceKind) -> None:
-        """Move every page of this tensor to ``target``."""
-        self._require_allocator().move(self, target)
+        """Deprecated: use ``allocator.move_pages([tensor], target)``."""
+        import warnings
+
+        warnings.warn(
+            "PagedTensor.move is deprecated; use "
+            "PageAllocator.move_pages([tensor], device)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._require_allocator().move_pages([self], target)
 
     def merge(self) -> None:
         """Re-pack into exclusively-owned pages so the data is contiguous."""
@@ -118,24 +126,29 @@ class PagedTensor:
     # Data access
     # ------------------------------------------------------------------
     def read_array(self) -> np.ndarray:
-        """Gather the tensor's bytes from its pages into an ndarray."""
+        """Gather the tensor's bytes from its pages into an ndarray.
+
+        Each page segment is read directly into the result buffer
+        (``readinto``); no intermediate ``bytes`` objects.
+        """
         self._check_live()
-        raw = bytearray(self.nbytes)
+        out = np.empty(self.size, dtype=self.dtype)
+        raw = out.view(np.uint8).reshape(-1)
         for page, offset, nbytes, cursor in self._segments():
-            raw[cursor:cursor + nbytes] = page.read(offset, nbytes)
-        return np.frombuffer(bytes(raw), dtype=self.dtype).reshape(self.shape).copy()
+            page.readinto(offset, raw[cursor:cursor + nbytes])
+        return out.reshape(self.shape)
 
     def write_array(self, array: np.ndarray) -> None:
-        """Scatter ``array`` into the tensor's pages."""
+        """Scatter ``array`` into the tensor's pages (zero-copy views)."""
         self._check_live()
         array = np.ascontiguousarray(array, dtype=self.dtype)
         if array.shape != self.shape:
             raise TensorStateError(
                 f"shape mismatch: tensor {self.shape}, array {array.shape}"
             )
-        raw = array.tobytes()
+        raw = array.view(np.uint8).reshape(-1)
         for page, offset, nbytes, cursor in self._segments():
-            page.write(offset, raw[cursor:cursor + nbytes])
+            page.write_from(offset, raw[cursor:cursor + nbytes])
 
     def fill(self, value: float) -> None:
         self.write_array(np.full(self.shape, value, dtype=self.dtype))

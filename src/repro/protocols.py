@@ -9,11 +9,75 @@ engine relies on. Any object with the right methods satisfies them;
 :class:`~repro.resilience.faults.FaultPlan`,
 :class:`~repro.resilience.retry.RetryPolicy` and
 :class:`~repro.telemetry.core.Telemetry` are the in-repo implementations.
+
+The physical storage contract of the page pools lives here too:
+:class:`PoolBackend` is the buffer-protocol API every tier backend
+implements (``readinto``/``write_from`` operate on caller-supplied
+buffers, never intermediate ``bytes``), and :class:`ArenaBackendLike`
+extends it with ``view`` for RAM-like tiers whose arena can hand out
+zero-copy ``memoryview`` windows. :class:`LegacyPoolBackendLike` is the
+pre-arena bytes-based duck type; :class:`repro.memory.pool.DevicePool`
+adapts such backends through a one-release deprecation shim.
 """
 
 from __future__ import annotations
 
 from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class PoolBackend(Protocol):
+    """Physical page storage for one :class:`~repro.memory.pool.DevicePool`.
+
+    A backend owns ``num_pages`` fixed-size page slots. All data movement
+    is expressed over the buffer protocol: ``readinto`` fills a
+    caller-supplied writable buffer, ``write_from`` consumes a readable
+    one, and neither ever materializes an intermediate ``bytes`` object.
+    ``buf`` may span *multiple consecutive pages* — backends store their
+    pages contiguously (one arena), so a coalesced run of pages is one
+    call. Both return the number of bytes transferred, which must equal
+    ``len(buf)`` (short reads are looped over internally and a shortfall
+    is an error, never a silent truncation).
+    """
+
+    def readinto(self, index: int, offset: int, buf) -> int: ...
+
+    def write_from(self, index: int, offset: int, buf) -> int: ...
+
+    def close(self) -> None: ...
+
+
+@runtime_checkable
+class ArenaBackendLike(PoolBackend, Protocol):
+    """A :class:`PoolBackend` whose arena supports zero-copy windows.
+
+    RAM-like tiers (process memory, ``multiprocessing.shared_memory``)
+    additionally expose ``view``: a writable ``memoryview`` of the page
+    range starting at ``index * page_bytes + offset``, valid until
+    ``close``. Two arena backends move a page with a single
+    ``dst.view(...)[:] = src.view(...)`` slice copy; file tiers do not
+    implement ``view`` and take the ``readinto``/``write_from`` path.
+    """
+
+    def view(self, index: int, offset: int, nbytes: int) -> memoryview: ...
+
+
+@runtime_checkable
+class LegacyPoolBackendLike(Protocol):
+    """The deprecated bytes-based backend duck type (pre-arena API).
+
+    ``read`` returns freshly-allocated ``bytes`` and ``write`` consumes
+    them — one avoidable copy per call. Backends implementing only this
+    surface still work for one release:
+    :class:`repro.memory.pool.DevicePool` wraps them in a
+    ``LegacyBackendAdapter`` (copy + ``DeprecationWarning``).
+    """
+
+    def read(self, index: int, offset: int, nbytes: int) -> bytes: ...
+
+    def write(self, index: int, offset: int, data: bytes) -> None: ...
+
+    def close(self) -> None: ...
 
 
 @runtime_checkable
@@ -71,4 +135,11 @@ class TelemetryLike(Protocol):
     def record_stall(self, edge: str, seconds: float) -> None: ...
 
 
-__all__ = ["FaultPlanLike", "RetryPolicyLike", "TelemetryLike"]
+__all__ = [
+    "ArenaBackendLike",
+    "FaultPlanLike",
+    "LegacyPoolBackendLike",
+    "PoolBackend",
+    "RetryPolicyLike",
+    "TelemetryLike",
+]

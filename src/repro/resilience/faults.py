@@ -181,6 +181,15 @@ class FaultPlan:
 class FaultyBackend:
     """Wraps a pool backend; every I/O consults the :class:`FaultPlan`.
 
+    Speaks the buffer-protocol storage API
+    (:class:`repro.protocols.PoolBackend`) and deliberately does NOT
+    re-export the inner backend's ``view`` or ``descriptor``: hiding the
+    zero-copy window and the cross-process address forces every page
+    copy touching this tier through ``readinto``/``write_from`` — and
+    therefore through the plan. (A view handed out once would let later
+    copies bypass injection; a descriptor would let the out-of-process
+    copy worker do the same.)
+
     A torn write lands a deterministic prefix of the bytes before raising
     :class:`~repro.errors.TransientIOError`, so the caller's retried full
     rewrite restores consistency — exactly the failure a page-granular
@@ -192,20 +201,22 @@ class FaultyBackend:
         self._plan = plan
         self.tier = tier
 
-    def read(self, index: int, offset: int, nbytes: int) -> bytes:
-        self._plan.on_io(self.tier, "read", nbytes)
-        return self._inner.read(index, offset, nbytes)
+    def readinto(self, index: int, offset: int, buf) -> int:
+        self._plan.on_io(self.tier, "read", memoryview(buf).nbytes)
+        return self._inner.readinto(index, offset, buf)
 
-    def write(self, index: int, offset: int, data: bytes) -> None:
-        action = self._plan.on_io(self.tier, "write", len(data))
+    def write_from(self, index: int, offset: int, buf) -> int:
+        source = memoryview(buf).cast("B")
+        action = self._plan.on_io(self.tier, "write", len(source))
         if action == "torn":
-            torn_at = max(0, len(data) // 2)
+            torn_at = max(0, len(source) // 2)
             if torn_at:
-                self._inner.write(index, offset, data[:torn_at])
+                self._inner.write_from(index, offset, source[:torn_at])
             raise TransientIOError(
-                f"injected torn write on {self.tier}: {torn_at}/{len(data)} bytes landed"
+                f"injected torn write on {self.tier}: "
+                f"{torn_at}/{len(source)} bytes landed"
             )
-        self._inner.write(index, offset, data)
+        return self._inner.write_from(index, offset, source)
 
     def close(self) -> None:
         self._inner.close()

@@ -166,13 +166,17 @@ class ScheduleExecutor:
             ):
                 if task.operation == Operation.MOVE_TO_GPU:
                     key = (task.layer_index, task.page_id)
-                    page_tensors[key].move(DeviceKind.GPU)
+                    self.allocator.move_pages(
+                        [page_tensors[key]], DeviceKind.GPU
+                    )
                     on_gpu.add(key)
                     report.moves_executed += 1
                     self.bus.complete(f"move.l{key[0]}.p{key[1]}.t{op_id}")
                 elif task.operation == Operation.MOVE_TO_CPU:
                     key = (task.layer_index, task.page_id)
-                    page_tensors[key].move(DeviceKind.CPU)
+                    self.allocator.move_pages(
+                        [page_tensors[key]], DeviceKind.CPU
+                    )
                     on_gpu.discard(key)
                     report.moves_executed += 1
                 elif task.operation == Operation.ALL_GATHER:
@@ -236,11 +240,17 @@ class ScheduleExecutor:
 
             # After a layer's backward its shard leaves the GPU.
             if is_backward:
-                for page_id in range(num_pages[layer_index]):
-                    key = (layer_index, page_id)
-                    if key in on_gpu:
-                        page_tensors[key].move(DeviceKind.CPU)
-                        on_gpu.discard(key)
+                evicting = [
+                    (layer_index, page_id)
+                    for page_id in range(num_pages[layer_index])
+                    if (layer_index, page_id) in on_gpu
+                ]
+                if evicting:
+                    self.allocator.move_pages(
+                        [page_tensors[key] for key in evicting],
+                        DeviceKind.CPU,
+                    )
+                    on_gpu.difference_update(evicting)
             track_peak()
 
         report.events_fired = len(self.bus._events)

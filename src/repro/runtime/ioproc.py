@@ -1,0 +1,284 @@
+"""Out-of-process page copies over named shared arenas.
+
+The GIL is the last serialization point on the page hot path: threads
+overlap compute with I/O *waits* (PR 5), but the byte copies themselves
+still contend for the interpreter. :class:`PageCopyService` runs those
+copies in a dedicated **worker process** that attaches the pools' named
+arenas — ``multiprocessing.shared_memory`` segments for RAM tiers, the
+preallocated arena file for the SSD tier — by the descriptors the
+backends export (:meth:`repro.memory.pool.DevicePool.backend_descriptor`,
+following the cluster transport's segment-naming discipline). While the
+parent blocks on the worker's ack it holds no GIL, so the compute thread
+runs at full speed.
+
+Division of labour with :mod:`repro.runtime.pipeline`: the
+:class:`~repro.runtime.pipeline.PrefetchWorker` and
+:class:`~repro.runtime.pipeline.WritebackQueue` remain the *control
+plane* — they share condition variables and iteration state with the
+engine, which only threads can do cheaply — and hand the *data plane*
+(the physical gather/scatter) to this service whenever both endpoints
+export a descriptor. A fault-injection wrapper deliberately exports
+none, so chaos tests keep intercepting every byte in-process.
+
+The worker is started with the ``spawn`` context: the engine runs
+prefetch/writeback threads, and forking a multi-threaded process is
+undefined behaviour. The worker function lives at module level so spawn
+can import it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+
+from repro.errors import TransientIOError
+from repro.memory.arena import (
+    FILE_DESCRIPTOR,
+    SHM_DESCRIPTOR,
+    arena_session_token,
+)
+
+
+def _attach_view(desc, segments, files):
+    """Resolve a descriptor to (kind, handle) in the worker, caching.
+
+    Attachments never owe cleanup: the engine that created an arena
+    closes and unlinks it; the worker's cached segments are closed in
+    ``_copy_worker``'s shutdown path.
+    """
+    kind, address = desc
+    if kind == SHM_DESCRIPTOR:
+        if address not in segments:
+            from multiprocessing import resource_tracker, shared_memory
+
+            # Python 3.11 registers attached segments with the resource
+            # tracker as if the attacher owned them; it does not — the
+            # creating engine unlinks. Spawned workers share the parent's
+            # tracker, so letting the registration through (or
+            # unregistering it afterwards) would fight the owner's own
+            # entry. Suppress registration for the attach only.
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda name, rtype: None
+            try:
+                segment = shared_memory.SharedMemory(name=address)
+            finally:
+                resource_tracker.register = original_register
+            segments[address] = (segment, memoryview(segment.buf))
+        return SHM_DESCRIPTOR, segments[address][1]
+    if kind == FILE_DESCRIPTOR:
+        if address not in files:
+            files[address] = os.open(address, os.O_RDWR)
+        return FILE_DESCRIPTOR, files[address]
+    raise ValueError(f"unknown arena descriptor kind {kind!r}")
+
+
+def _pread_full(fd: int, offset: int, view: memoryview) -> None:
+    done = 0
+    while done < len(view):
+        chunk = os.pread(fd, len(view) - done, offset + done)
+        if not chunk:
+            raise OSError(
+                f"short read at {offset + done}: {done}/{len(view)} bytes"
+            )
+        view[done:done + len(chunk)] = chunk
+        done += len(chunk)
+
+
+def _pwrite_full(fd: int, offset: int, view: memoryview) -> None:
+    done = 0
+    while done < len(view):
+        done += os.pwrite(fd, view[done:], offset + done)
+
+
+def _copy_range(src, dst, src_off: int, dst_off: int, nbytes: int) -> None:
+    src_kind, src_handle = src
+    dst_kind, dst_handle = dst
+    if src_kind == SHM_DESCRIPTOR and dst_kind == SHM_DESCRIPTOR:
+        dst_handle[dst_off:dst_off + nbytes] = (
+            src_handle[src_off:src_off + nbytes]
+        )
+    elif src_kind == SHM_DESCRIPTOR:
+        _pwrite_full(dst_handle, dst_off, src_handle[src_off:src_off + nbytes])
+    elif dst_kind == SHM_DESCRIPTOR:
+        _pread_full(src_handle, src_off, dst_handle[dst_off:dst_off + nbytes])
+    else:
+        staging = bytearray(nbytes)
+        view = memoryview(staging)
+        _pread_full(src_handle, src_off, view)
+        _pwrite_full(dst_handle, dst_off, view)
+
+
+def _copy_worker(conn) -> None:
+    """Worker-process main loop: attach arenas, execute copy batches."""
+    segments: dict = {}
+    files: dict = {}
+    try:
+        while True:
+            # Bounded block: wake periodically so a vanished parent (pipe
+            # EOF surfaces via recv below) can never wedge the worker.
+            if not conn.poll(1.0):
+                continue
+            message = conn.recv()
+            if message is None:
+                break
+            src_desc, dst_desc, runs = message
+            try:
+                src = _attach_view(src_desc, segments, files)
+                dst = _attach_view(dst_desc, segments, files)
+                for src_off, dst_off, nbytes in runs:
+                    _copy_range(src, dst, src_off, dst_off, nbytes)
+            except Exception as exc:  # report, keep serving
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            else:
+                conn.send(("ok", len(runs)))
+    except (EOFError, OSError):
+        pass  # parent went away; exit quietly
+    finally:
+        for _, view in segments.values():
+            view.release()
+        for segment, _ in segments.values():
+            try:
+                segment.close()
+            except OSError:
+                pass
+        for fd in files.values():
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        conn.close()
+
+
+class PageCopyService:
+    """A copy worker process plus the parent-side RPC to drive it.
+
+    ``copy`` is synchronous — the caller's move already happens on an
+    I/O thread (prefetch worker / writeback queue), so blocking here
+    *is* the overlap: the parent blocks in an OS pipe read with the GIL
+    released while the worker does the memcpy/file I/O.
+    """
+
+    def __init__(self):
+        ctx = multiprocessing.get_context("spawn")
+        self._parent, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_copy_worker, args=(child,), daemon=True,
+            name="repro-page-copy",
+        )
+        self._proc.start()
+        child.close()
+        # One outstanding batch at a time; the lock serializes callers
+        # (prefetch thread vs writeback threads) onto the single pipe.
+        self._lock = threading.Lock()
+        self._staging = None
+        self._staging_name = None
+        self._closed = False
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed and self._proc.is_alive()
+
+    def _roundtrip(self, message) -> tuple:
+        """Send one batch, await its ack; caller holds ``_lock``.
+
+        The poll loop bounds every wait: if the worker process dies the
+        next 1 s tick notices and raises instead of blocking forever.
+        While this thread sits in ``poll`` it holds no GIL, so the
+        compute thread runs at full speed — that wait IS the overlap.
+        """
+        self._parent.send(message)
+        try:
+            while not self._parent.poll(1.0):
+                if not self._proc.is_alive():
+                    raise TransientIOError(
+                        "page copy worker died before acknowledging"
+                    )
+            return self._parent.recv()
+        except (EOFError, OSError) as exc:
+            raise TransientIOError(
+                f"page copy worker died mid-copy: {exc}"
+            ) from exc
+
+    def copy(self, src_desc, dst_desc, runs) -> None:
+        """Execute ``[(src_off, dst_off, nbytes), ...]`` in the worker."""
+        with self._lock:
+            if self._closed:
+                raise TransientIOError("page copy service is closed")
+            status, detail = self._roundtrip(
+                (tuple(src_desc), tuple(dst_desc), list(runs))
+            )
+        if status != "ok":
+            raise TransientIOError(f"page copy worker failed: {detail}")
+
+    # ------------------------------------------------------------------
+    # Writeback staging: scatter a parent-side payload into an arena
+    # ------------------------------------------------------------------
+    def _staging_view(self, nbytes: int) -> memoryview:
+        """A shared staging segment at least ``nbytes`` big (grown lazily)."""
+        from multiprocessing import shared_memory
+
+        from repro.cluster.transport import scoped_segment_name
+
+        if self._staging is None or self._staging.size < nbytes:
+            if self._staging is not None:
+                self._staging.close()
+                try:
+                    self._staging.unlink()
+                except FileNotFoundError:
+                    pass
+            name = scoped_segment_name(arena_session_token(), "stage")
+            self._staging = shared_memory.SharedMemory(
+                create=True, size=max(nbytes, 1), name=name
+            )
+            self._staging_name = self._staging.name
+        return memoryview(self._staging.buf)
+
+    def scatter(self, dst_desc, payload, runs) -> None:
+        """Stage ``payload`` once, scatter slices of it into ``dst_desc``.
+
+        ``runs`` are ``(payload_off, dst_off, nbytes)``. The parent pays
+        one GIL-releasing memcpy into the staging segment; the worker
+        does the per-page scatter against the destination arena.
+        """
+        source = memoryview(payload).cast("B")
+        with self._lock:
+            if self._closed:
+                raise TransientIOError("page copy service is closed")
+            staging = self._staging_view(len(source))
+            staging[: len(source)] = source
+            staging.release()
+            status, detail = self._roundtrip(
+                ((SHM_DESCRIPTOR, self._staging_name), tuple(dst_desc),
+                 list(runs))
+            )
+        if status != "ok":
+            raise TransientIOError(f"page copy worker failed: {detail}")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._parent.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        self._proc.join(timeout=5.0)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5.0)
+        self._parent.close()
+        if self._staging is not None:
+            self._staging.close()
+            try:
+                self._staging.unlink()
+            except FileNotFoundError:
+                pass
+            self._staging = None
+
+    def __enter__(self) -> "PageCopyService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -174,6 +174,76 @@ def _compare_pipeline(config: ProfileConfig) -> dict:
     }
 
 
+def _page_throughput(config: ProfileConfig) -> dict:
+    """Raw ``move_pages`` throughput per (src, dst) tier edge.
+
+    Builds a fresh three-tier allocator, moves one multi-tensor
+    MoveGroup along each edge of the hierarchy, and reports
+    pages-moved/sec plus how many physical copy calls the group
+    coalesced into. Fresh pools hand out consecutive arena slots, so a
+    well-coalesced group is O(runs) ≪ O(pages) copy calls — the number
+    the new perf gate asserts on.
+    """
+    import numpy as np
+
+    from repro.hardware.device import DeviceKind
+    from repro.memory.allocator import PageAllocator
+    from repro.memory.pool import DevicePool
+
+    telemetry = Telemetry()
+    page_bytes = config.page_bytes
+    group_pages = 32
+    capacity = 2 * group_pages * page_bytes
+    pools = {
+        DeviceKind.GPU: DevicePool(
+            DeviceKind.GPU, capacity, page_bytes, backend="ram",
+            telemetry=telemetry,
+        ),
+        DeviceKind.CPU: DevicePool(
+            DeviceKind.CPU, capacity, page_bytes, backend="ram",
+            telemetry=telemetry,
+        ),
+        DeviceKind.SSD: DevicePool(
+            DeviceKind.SSD, capacity, page_bytes, backend="file",
+            telemetry=telemetry,
+        ),
+    }
+    edges = {}
+    with PageAllocator(pools, telemetry=telemetry) as allocator:
+        # Eight 4-page tensors: one MoveGroup of 32 pages per edge.
+        tensors = [
+            allocator.allocate(
+                (4 * page_bytes // 4,), np.float32, DeviceKind.CPU
+            )
+            for _ in range(group_pages // 4)
+        ]
+        route = [DeviceKind.GPU, DeviceKind.CPU, DeviceKind.SSD,
+                 DeviceKind.CPU]
+        src = DeviceKind.CPU
+        for dst in route:
+            moved = allocator.move_pages(tensors, dst)
+            edge = f"{src.name.lower()}->{dst.name.lower()}"
+            edges[edge] = {
+                "pages_moved": moved.pages_moved,
+                "bytes_moved": moved.bytes_moved,
+                "copy_calls": moved.copy_calls,
+                "pages_per_copy_call": (
+                    moved.pages_moved / moved.copy_calls
+                    if moved.copy_calls else 0.0
+                ),
+                "pages_moved_per_sec": telemetry.registry.value(
+                    "pages.moved_per_sec",
+                    src=src.name.lower(), dst=dst.name.lower(),
+                ),
+            }
+            src = dst
+    return {
+        "page_bytes": page_bytes,
+        "group_pages": group_pages,
+        "edges": edges,
+    }
+
+
 def _simulate_once(config: ProfileConfig, telemetry) -> tuple[dict, dict]:
     """Plan + simulate one analytic iteration on the shared telemetry.
 
@@ -244,6 +314,8 @@ def run_profile(
     if config.compare_pipeline:
         pipeline_compare = _compare_pipeline(config)
 
+    page_throughput = _page_throughput(config)
+
     overhead = None
     if config.measure_overhead:
         baseline_elapsed, _, _, _ = _train_once(config, Telemetry(enabled=False))
@@ -277,6 +349,7 @@ def run_profile(
         "verification": verification,
         "protocol_verification": protocol_verification,
         "per_tier_edge_bytes": page_edges,
+        "page_throughput": page_throughput,
         "pipeline": pipeline_report,
         "pipeline_compare": pipeline_compare,
         "overhead": overhead,

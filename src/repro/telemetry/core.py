@@ -72,6 +72,34 @@ class Telemetry:
         self.registry.counter("pages.moved_bytes", src=src, dst=dst).inc(nbytes)
         self.registry.counter("pages.moves", src=src, dst=dst).inc()
 
+    def record_copy_batch(
+        self, src: str, dst: str, pages: int, nbytes: int,
+        copy_calls: int, seconds: float,
+    ) -> None:
+        """One coalesced MoveGroup transfer along a (src, dst) edge.
+
+        ``copy_calls`` is the number of gather/scatter slice copies the
+        batch was issued as — O(runs), not O(pages), when the arena free
+        lists keep pages contiguous. ``pages.moved_per_sec`` is the
+        instantaneous rate of the most recent batch on the edge;
+        ``pages.bytes_per_copy_call`` distributes how large each physical
+        copy was (the PCIe-utilization proxy the paper sizes pages for).
+        """
+        if not self.enabled:
+            return
+        self.registry.counter("pages.copy_calls", src=src, dst=dst).inc(
+            copy_calls
+        )
+        if copy_calls:
+            per_call = nbytes / copy_calls
+            self.registry.histogram(
+                "pages.bytes_per_copy_call", src=src, dst=dst
+            ).observe(per_call)
+        if seconds > 0:
+            self.registry.gauge("pages.moved_per_sec", src=src, dst=dst).set(
+                pages / seconds
+            )
+
     def record_io(self, tier: str, op: str, nbytes: int) -> None:
         """Physical backend I/O on one tier (``op`` is read/write)."""
         if not self.enabled:

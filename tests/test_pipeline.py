@@ -116,6 +116,94 @@ class TestPrefetchDeterminism:
             assert np.array_equal(array, pipe_params[name]), name
 
 
+class TestProcessDataPlane:
+    """io_workers="process": copies leave the GIL, numerics must not."""
+
+    def test_process_mode_bit_identical_to_thread(self, tmp_path):
+        common = dict(pipeline=True, ssd_bytes=16 * MiB)
+        thread_losses, thread_params, _ = train(
+            io_workers="thread", ssd_path=str(tmp_path / "t.bin"), **common
+        )
+        proc_losses, proc_params, facts = train(
+            io_workers="process", ssd_path=str(tmp_path / "p.bin"), **common
+        )
+        assert thread_losses == proc_losses
+        for name, array in thread_params.items():
+            assert np.array_equal(array, proc_params[name]), name
+        assert facts["report"]["writeback"]["flushed"] > 0
+
+    def test_process_mode_bit_identical_to_sync(self):
+        sync_losses, sync_params, _ = train(pipeline=False)
+        proc_losses, proc_params, _ = train(
+            pipeline=True, io_workers="process"
+        )
+        assert sync_losses == proc_losses
+        for name, array in sync_params.items():
+            assert np.array_equal(array, proc_params[name]), name
+
+    def test_invalid_io_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="io_workers"):
+            AngelConfig(io_workers="goroutine")
+
+    def test_io_workers_roundtrips_through_dict(self):
+        config = AngelConfig(io_workers="process")
+        assert AngelConfig.from_dict(config.to_dict()) == config
+
+
+class TestPageCopyService:
+    def test_copy_between_shared_arenas(self):
+        from repro.memory.arena import ArenaPoolBackend
+        from repro.runtime.ioproc import PageCopyService
+
+        src = ArenaPoolBackend(num_pages=4, page_bytes=256, shared=True)
+        dst = ArenaPoolBackend(num_pages=4, page_bytes=256, shared=True)
+        try:
+            payload = bytes(range(256)) * 2
+            src.write_from(1, 0, payload)
+            with PageCopyService() as service:
+                # One coalesced run: pages 1-2 of src into pages 0-1 of dst.
+                service.copy(
+                    src.descriptor(), dst.descriptor(), [(256, 0, 512)]
+                )
+            out = bytearray(512)
+            dst.readinto(0, 0, out)
+            assert bytes(out) == payload
+        finally:
+            src.close()
+            dst.close()
+
+    def test_scatter_stages_payload_into_arena(self):
+        from repro.memory.arena import ArenaPoolBackend
+        from repro.runtime.ioproc import PageCopyService
+
+        dst = ArenaPoolBackend(num_pages=4, page_bytes=128, shared=True)
+        try:
+            payload = np.arange(256, dtype=np.uint8)
+            with PageCopyService() as service:
+                # Scatter halves of the payload into pages 3 and 1.
+                service.scatter(
+                    dst.descriptor(), payload,
+                    [(0, 3 * 128, 128), (128, 1 * 128, 128)],
+                )
+            out = bytearray(128)
+            dst.readinto(3, 0, out)
+            assert bytes(out) == payload[:128].tobytes()
+            dst.readinto(1, 0, out)
+            assert bytes(out) == payload[128:].tobytes()
+        finally:
+            dst.close()
+
+    def test_copy_after_close_rejected(self):
+        from repro.errors import TransientIOError
+        from repro.runtime.ioproc import PageCopyService
+
+        service = PageCopyService()
+        service.close()
+        assert not service.alive
+        with pytest.raises(TransientIOError, match="closed"):
+            service.copy(("shm", "x"), ("shm", "y"), [(0, 0, 1)])
+
+
 class TestLivePlan:
     def test_executed_plan_verifies_clean(self):
         from repro.analysis.verifier import verify_plan
